@@ -1,0 +1,100 @@
+// Command mttkrp-bench regenerates the paper's evaluation figures.
+//
+// Usage:
+//
+//	mttkrp-bench -fig all                  # every figure at laptop scale
+//	mttkrp-bench -fig 5 -scale 0.05        # Figure 5 at 5% of paper size
+//	mttkrp-bench -fig 4a -maxthreads 12    # Figure 4a with a 1..12 sweep
+//	mttkrp-bench -fig 7 -paper             # paper-sized (needs a big server)
+//
+// Each figure prints one table per subfigure with the same series the
+// paper plots, followed by OBS lines summarizing the shape claims
+// (speedups, ratios) recorded in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/cli"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 4a, 4b, 5, 6, 7, 8, or all")
+	scale := flag.Float64("scale", 0.01, "problem size as a fraction of the paper's (entry count)")
+	paper := flag.Bool("paper", false, "use the paper's full problem sizes (overrides -scale; needs ~10 GB)")
+	maxThreads := flag.Int("maxthreads", runtime.GOMAXPROCS(0), "top of the thread sweep")
+	trials := flag.Int("trials", 3, "timed repetitions per point (median reported)")
+	csvDir := flag.String("csvdir", "", "also write every table as a CSV file into this directory")
+	flag.Parse()
+
+	cfg := bench.Config{
+		Scale:      *scale,
+		MaxThreads: *maxThreads,
+		Trials:     *trials,
+		Out:        os.Stdout,
+	}
+	if *paper {
+		cfg.Scale = 1.0
+	}
+
+	fmt.Printf("# MTTKRP benchmark suite — scale=%.4g, threads 1..%d, %d trials, GOMAXPROCS=%d\n\n",
+		cfg.Scale, cfg.MaxThreads, cfg.Trials, runtime.GOMAXPROCS(0))
+
+	start := time.Now()
+	ran := false
+	var tables []*bench.Table
+	want := strings.ToLower(*fig)
+	run := func(name string, f func() []*bench.Table) {
+		if want == "all" || want == name || (len(name) > 1 && want == name[:1] && name[1] >= 'a') {
+			tables = append(tables, f()...)
+			ran = true
+		}
+	}
+	run("4a", func() []*bench.Table { return []*bench.Table{bench.Fig4(cfg, 25)} })
+	run("4b", func() []*bench.Table { return []*bench.Table{bench.Fig4(cfg, 50)} })
+	run("5", func() []*bench.Table { return bench.Fig5(cfg) })
+	run("6", func() []*bench.Table { return bench.Fig6(cfg) })
+	run("7", func() []*bench.Table { return bench.Fig7(cfg) })
+	run("8", func() []*bench.Table { return bench.Fig8(cfg) })
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown figure %q (want 4a, 4b, 5, 6, 7, 8, or all)\n", *fig)
+		os.Exit(2)
+	}
+	if *csvDir != "" {
+		if err := writeCSVs(*csvDir, tables); err != nil {
+			fmt.Fprintln(os.Stderr, "csv:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("# wrote %d CSV files to %s\n", len(tables), *csvDir)
+	}
+	fmt.Printf("# done in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// writeCSVs saves each table as <slug-of-title>.csv under dir.
+func writeCSVs(dir string, tables []*bench.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, t := range tables {
+		name := fmt.Sprintf("%02d-%s.csv", i, cli.Slug(t.Title))
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if err := t.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+// Scaling study: compare the MTTKRP algorithms (1-step, 2-step, reorder
+// baseline) across modes and thread counts on a user-sized tensor — a
+// miniature of the paper's Figure 5 experiment on arbitrary shapes.
+//
+//	go run ./examples/scaling                  # default 120×110×100
+//	go run ./examples/scaling -dims 60,50,40,30 -rank 16 -maxthreads 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	dimsFlag := flag.String("dims", "120,110,100", "tensor dimensions")
+	rank := flag.Int("rank", 25, "KRP column count C")
+	maxThreads := flag.Int("maxthreads", runtime.GOMAXPROCS(0), "thread sweep upper bound")
+	flag.Parse()
+
+	dims, err := parseDims(*dimsFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	x := repro.RandomTensor(rng, dims...)
+	factors := make([]repro.Matrix, len(dims))
+	for k, d := range dims {
+		factors[k] = repro.RandomMatrix(d, *rank, rng)
+	}
+	fmt.Printf("tensor %v (%d entries, %.1f MB), C=%d\n\n",
+		dims, x.Size(), float64(x.Size())*8/1e6, *rank)
+
+	fmt.Printf("%-22s", "method/mode")
+	for t := 1; t <= *maxThreads; t++ {
+		fmt.Printf("  T=%-8d", t)
+	}
+	fmt.Println()
+
+	timeIt := func(f func()) float64 {
+		f() // warmup
+		best := time.Duration(1 << 62)
+		for i := 0; i < 3; i++ {
+			start := time.Now()
+			f()
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best.Seconds()
+	}
+
+	for n := range dims {
+		methods := []repro.Method{repro.MethodOneStep}
+		if n > 0 && n < len(dims)-1 {
+			methods = append(methods, repro.MethodTwoStep)
+		}
+		methods = append(methods, repro.MethodReorder)
+		for _, m := range methods {
+			fmt.Printf("%-22s", fmt.Sprintf("%v, n=%d", m, n))
+			base := 0.0
+			for t := 1; t <= *maxThreads; t++ {
+				opts := repro.MTTKRPOptions{Threads: t}
+				sec := timeIt(func() { repro.MTTKRPWith(m, x, factors, n, opts) })
+				if t == 1 {
+					base = sec
+				}
+				fmt.Printf("  %7.4fs ", sec)
+				_ = base
+			}
+			fmt.Println()
+		}
+	}
+
+	// Per-phase view of one internal mode, like the paper's Figure 6.
+	if len(dims) > 2 {
+		n := 1
+		fmt.Printf("\nbreakdown of mode %d at T=%d:\n", n, *maxThreads)
+		for _, m := range []repro.Method{repro.MethodOneStep, repro.MethodTwoStep, repro.MethodReorder} {
+			var bd repro.Breakdown
+			repro.MTTKRPWith(m, x, factors, n, repro.MTTKRPOptions{Threads: *maxThreads, Breakdown: &bd})
+			fmt.Printf("  %-8v %v\n", m, &bd)
+		}
+	}
+}
+
+func parseDims(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	dims := make([]int, 0, len(parts))
+	for _, p := range parts {
+		d, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || d <= 0 {
+			return nil, fmt.Errorf("bad dimension %q", p)
+		}
+		dims = append(dims, d)
+	}
+	if len(dims) < 2 {
+		return nil, fmt.Errorf("need at least 2 dimensions")
+	}
+	return dims, nil
+}

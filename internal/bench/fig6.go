@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/mat"
+	"repro/internal/tensor"
+)
+
+// Fig6 regenerates Figure 6: the time breakdown of baseline, 1-step and
+// 2-step MTTKRP across modes for N = 3..6, sequential (T=1) and parallel
+// (T=MaxThreads). Phase categories match the paper's legend: DGEMM, DGEMV,
+// Full KRP, L&R KRP, REDUCE (plus REORDER for context, which the paper's
+// baseline ignores).
+func Fig6(cfg Config) []*Table {
+	cfg = cfg.WithDefaults()
+	var tables []*Table
+	for _, n := range []int{3, 4, 5, 6} {
+		for _, t := range []int{1, cfg.MaxThreads} {
+			tables = append(tables, fig6ForOrder(cfg, n, t))
+		}
+	}
+	return tables
+}
+
+func fig6ForOrder(cfg Config, order, t int) *Table {
+	dims := cfg.EqualDims(order)
+	rng := rand.New(rand.NewSource(int64(order)))
+	x := tensor.Random(rng, dims...)
+	u := make([]mat.View, order)
+	for k, d := range dims {
+		u[k] = mat.RandomDense(d, fig5Rank, rng)
+	}
+	label := "Seq."
+	if t > 1 {
+		label = fmt.Sprintf("Par. T=%d", t)
+	}
+	table := breakdownTable(
+		fmt.Sprintf("Figure 6 (%s, N=%d: %d^%d): MTTKRP time breakdown in seconds", label, order, dims[0], order))
+
+	g := core.NewGemmBaselineFor(x, 0, fig5Rank)
+	for n := 0; n < order; n++ {
+		addBreakdownRow(table, fmt.Sprintf("n=%d B", n), cfg.Trials, func(bd *core.Breakdown) {
+			g.Run(t, bd)
+		})
+		addBreakdownRow(table, fmt.Sprintf("n=%d 1S", n), cfg.Trials, func(bd *core.Breakdown) {
+			core.OneStep(x, u, n, core.Options{Threads: t, Breakdown: bd})
+		})
+		if n > 0 && n < order-1 {
+			addBreakdownRow(table, fmt.Sprintf("n=%d 2S", n), cfg.Trials, func(bd *core.Breakdown) {
+				core.TwoStep(x, u, n, core.Options{Threads: t, Breakdown: bd})
+			})
+		}
+	}
+	table.Fprint(cfg.Out)
+	return table
+}
+
+// breakdownTable creates a table with one column per phase plus a total.
+func breakdownTable(title string) *Table {
+	cols := []string{"mode/method"}
+	for _, p := range core.Phases() {
+		cols = append(cols, p.String())
+	}
+	cols = append(cols, "TOTAL")
+	return NewTable(title, cols...)
+}
+
+// addBreakdownRow runs fn trials times accumulating a Breakdown, averages
+// it, and appends a row of per-phase seconds.
+func addBreakdownRow(table *Table, label string, trials int, fn func(*core.Breakdown)) {
+	var bd core.Breakdown
+	fn(&bd) // warmup
+	bd.Reset()
+	for i := 0; i < trials; i++ {
+		fn(&bd)
+	}
+	bd.Scale(trials)
+	vals := make([]float64, 0, len(core.Phases())+1)
+	for _, p := range core.Phases() {
+		vals = append(vals, bd.Get(p).Seconds())
+	}
+	vals = append(vals, bd.Total().Seconds())
+	table.Addf(label, "%.4f", vals...)
+}

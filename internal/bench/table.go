@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a fixed-width text table; each figure regenerator emits one or
+// more tables whose rows correspond to the series the paper plots.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// NewTable creates a titled table with the given column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// Add appends a row; missing cells render empty, extra cells are kept.
+func (t *Table) Add(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Addf appends a row of formatted cells: the first cell is the label, the
+// rest are formatted with the given verb (e.g. "%.4f").
+func (t *Table) Addf(label, verb string, values ...float64) {
+	row := make([]string, 0, len(values)+1)
+	row = append(row, label)
+	for _, v := range values {
+		row = append(row, fmt.Sprintf(verb, v))
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Fprint renders the table.
+func (t *Table) Fprint(w io.Writer) {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "## %s\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(widths))
+		for i := range widths {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			if i == 0 {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], cell)
+			} else {
+				parts[i] = fmt.Sprintf("%*s", widths[i], cell)
+			}
+		}
+		fmt.Fprintln(w, strings.Join(parts, "  "))
+	}
+	line(t.Columns)
+	sep := make([]string, len(widths))
+	for i, wd := range widths {
+		sep[i] = strings.Repeat("-", wd)
+	}
+	fmt.Fprintln(w, strings.Join(sep, "  "))
+	for _, row := range t.Rows {
+		line(row)
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteCSV emits the table in RFC-4180 CSV form (header row first) so the
+// figure series can be plotted directly.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		// Pad short rows so every record has the header's width.
+		rec := make([]string, len(t.Columns))
+		copy(rec, row)
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,301 @@
+package blas
+
+import (
+	"sync"
+
+	"repro/internal/mat"
+	"repro/internal/parallel"
+)
+
+// smallGemmFlops is the threshold below which the packed path is not worth
+// its setup cost and a direct loop is used instead. The 1-step algorithm's
+// internal modes issue many GEMMs of exactly this size class (I_n × I^L_n
+// blocks times I^L_n × C), so the small path matters.
+const smallGemmFlops = 256 * 1024
+
+// packPool recycles packing buffers across GEMM calls; the block loops of
+// the 1-step algorithm issue thousands of same-shaped GEMMs and must not
+// allocate per call.
+var packPool = sync.Pool{New: func() any { return new([]float64) }}
+
+func getPackBuf(n int) (*[]float64, []float64) {
+	p := packPool.Get().(*[]float64)
+	if cap(*p) < n {
+		*p = make([]float64, n)
+	}
+	return p, (*p)[:n]
+}
+
+// Gemm computes C = alpha*A*B + beta*C using t workers and default
+// blocking. Transposition is expressed through views: pass A.T() for AᵀB.
+func Gemm(t int, alpha float64, a, b mat.View, beta float64, c mat.View) {
+	GemmBlocked(t, alpha, a, b, beta, c, Blocking{})
+}
+
+// GemmBlocked is Gemm with explicit cache-blocking parameters (for the
+// blocking ablation benchmark).
+func GemmBlocked(t int, alpha float64, a, b mat.View, beta float64, c mat.View, bl Blocking) {
+	m, n, k := checkGemmDims(a, b, c)
+	if m == 0 || n == 0 {
+		return
+	}
+	scaleView(t, beta, c)
+	if alpha == 0 || k == 0 {
+		return
+	}
+	if int64(m)*int64(n)*int64(k) <= smallGemmFlops {
+		if t > 1 && m >= 2*t {
+			parallelRows(t, m, func(lo, hi int) {
+				gemmSmallAcc(alpha, a.Slice(lo, hi, 0, k), b, c.Slice(lo, hi, 0, n))
+			})
+			return
+		}
+		gemmSmallAcc(alpha, a, b, c)
+		return
+	}
+	bl = bl.orDefault()
+
+	// Worker split: divide the M dimension into contiguous stripes, one per
+	// worker. Each worker runs the full blocked loop nest on its stripe,
+	// packing its own A panels. B panels are packed redundantly per worker;
+	// for the tall-and-skinny shapes MTTKRP produces (huge M, small N) the
+	// duplicated packing cost is negligible and avoiding cross-worker
+	// synchronization keeps the scaling clean. The K dimension is never
+	// split (see package comment).
+	tm := parallel.Clamp(t, (m+mr-1)/mr)
+	if tm == 1 {
+		gemmStripe(alpha, a, b, c, bl)
+		return
+	}
+	stripes := parallel.Split((m+mr-1)/mr, tm) // split in units of micro-rows
+	parallel.Run(tm, func(w int) {
+		r := stripes[w]
+		lo, hi := r.Lo*mr, r.Hi*mr
+		if hi > m {
+			hi = m
+		}
+		if lo >= hi {
+			return
+		}
+		gemmStripe(alpha, a.Slice(lo, hi, 0, k), b, c.Slice(lo, hi, 0, n), bl)
+	})
+}
+
+// scaleView computes C *= beta in parallel over rows.
+func scaleView(t int, beta float64, c mat.View) {
+	if beta == 1 {
+		return
+	}
+	parallelRows(t, c.R, func(lo, hi int) {
+		blk := c.Slice(lo, hi, 0, c.C)
+		if beta == 0 {
+			blk.Zero()
+			return
+		}
+		for i := 0; i < blk.R; i++ {
+			for j := 0; j < blk.C; j++ {
+				blk.Set(i, j, beta*blk.At(i, j))
+			}
+		}
+	})
+}
+
+func parallelRows(t, rows int, body func(lo, hi int)) {
+	parallel.For(t, rows, func(_, lo, hi int) { body(lo, hi) })
+}
+
+// gemmSmallAcc computes C += alpha*A*B for small problems, dispatching to
+// an i-k-j sweep over contiguous rows when the layouts allow (the common
+// case: row-major KRP blocks times row-major outputs) and a direct triple
+// loop otherwise.
+func gemmSmallAcc(alpha float64, a, b, c mat.View) {
+	if b.CS == 1 && c.CS == 1 {
+		gemmIKJ(alpha, a, b, c)
+		return
+	}
+	gemmNaiveAcc(alpha, a, b, c)
+}
+
+// gemmIKJ computes C += alpha*A*B with an i-k-j loop: each A element
+// scales a contiguous row of B into a contiguous row of C. Requires unit
+// column strides on B and C.
+func gemmIKJ(alpha float64, a, b, c mat.View) {
+	m, n, k := a.R, b.C, a.C
+	for i := 0; i < m; i++ {
+		crow := c.Data[i*c.RS : i*c.RS+n]
+		for p := 0; p < k; p++ {
+			aip := alpha * a.At(i, p)
+			if aip == 0 {
+				continue
+			}
+			brow := b.Data[p*b.RS : p*b.RS+n]
+			for j, bv := range brow {
+				crow[j] += aip * bv
+			}
+		}
+	}
+}
+
+// gemmNaiveAcc computes C += alpha*A*B with a direct loop; used for tiny
+// problems with awkward strides and as the reference in tests.
+func gemmNaiveAcc(alpha float64, a, b, c mat.View) {
+	for i := 0; i < a.R; i++ {
+		for j := 0; j < b.C; j++ {
+			s := 0.0
+			for p := 0; p < a.C; p++ {
+				s += a.At(i, p) * b.At(p, j)
+			}
+			c.Add(i, j, alpha*s)
+		}
+	}
+}
+
+// gemmStripe runs the five-loop blocked GEMM (BLIS structure) on one
+// contiguous stripe of rows, sequentially: C += alpha*A*B. Packing
+// buffers are sized to the actual block extents and recycled via a pool.
+func gemmStripe(alpha float64, a, b, c mat.View, bl Blocking) {
+	m, n, k := a.R, b.C, a.C
+	apHandle, ap := getPackBuf(min(bl.MC, roundUp(m, mr)) * min(bl.KC, k))
+	bpHandle, bp := getPackBuf(min(bl.KC, k) * min(bl.NC, roundUp(n, nr)))
+	defer packPool.Put(apHandle)
+	defer packPool.Put(bpHandle)
+	var acc [mr * nr]float64
+	for jc := 0; jc < n; jc += bl.NC {
+		nc := min(bl.NC, n-jc)
+		for pc := 0; pc < k; pc += bl.KC {
+			kc := min(bl.KC, k-pc)
+			packB(b.Slice(pc, pc+kc, jc, jc+nc), bp)
+			for ic := 0; ic < m; ic += bl.MC {
+				mc := min(bl.MC, m-ic)
+				packA(a.Slice(ic, ic+mc, pc, pc+kc), ap)
+				cBlk := c.Slice(ic, ic+mc, jc, jc+nc)
+				for jr := 0; jr < nc; jr += nr {
+					nrr := min(nr, nc-jr)
+					for ir := 0; ir < mc; ir += mr {
+						mrr := min(mr, mc-ir)
+						microKernel(kc, ap[(ir/mr)*mr*kc:], bp[(jr/nr)*nr*kc:], &acc)
+						writeBack(alpha, &acc, cBlk, ir, jr, mrr, nrr)
+					}
+				}
+			}
+		}
+	}
+}
+
+// packA copies an mc×kc block of A into micro-panels of mr rows stored
+// column-by-column: panel p, column q, row r lives at
+// ap[p*mr*kc + q*mr + r]. Rows beyond mc are zero-padded so the
+// micro-kernel never branches.
+func packA(a mat.View, ap []float64) {
+	mc, kc := a.R, a.C
+	idx := 0
+	for p := 0; p < mc; p += mr {
+		rows := min(mr, mc-p)
+		if a.CS == 1 {
+			// Row-major source: gather rows, then interleave.
+			base := p * a.RS
+			for q := 0; q < kc; q++ {
+				for r := 0; r < rows; r++ {
+					ap[idx+r] = a.Data[base+r*a.RS+q]
+				}
+				for r := rows; r < mr; r++ {
+					ap[idx+r] = 0
+				}
+				idx += mr
+			}
+			continue
+		}
+		for q := 0; q < kc; q++ {
+			for r := 0; r < rows; r++ {
+				ap[idx+r] = a.At(p+r, q)
+			}
+			for r := rows; r < mr; r++ {
+				ap[idx+r] = 0
+			}
+			idx += mr
+		}
+	}
+}
+
+// packB copies a kc×nc block of B into micro-panels of nr columns stored
+// row-by-row: panel p, row q, column cidx lives at
+// bp[p*nr*kc + q*nr + cidx], zero-padded to nr columns.
+func packB(b mat.View, bp []float64) {
+	kc, nc := b.R, b.C
+	idx := 0
+	for p := 0; p < nc; p += nr {
+		cols := min(nr, nc-p)
+		if b.CS == 1 {
+			for q := 0; q < kc; q++ {
+				base := q*b.RS + p
+				for cidx := 0; cidx < cols; cidx++ {
+					bp[idx+cidx] = b.Data[base+cidx]
+				}
+				for cidx := cols; cidx < nr; cidx++ {
+					bp[idx+cidx] = 0
+				}
+				idx += nr
+			}
+			continue
+		}
+		for q := 0; q < kc; q++ {
+			for cidx := 0; cidx < cols; cidx++ {
+				bp[idx+cidx] = b.At(q, p+cidx)
+			}
+			for cidx := cols; cidx < nr; cidx++ {
+				bp[idx+cidx] = 0
+			}
+			idx += nr
+		}
+	}
+}
+
+// microKernel computes a dense mr×nr = (mr×kc)·(kc×nr) product from packed
+// panels into acc. The 16 accumulators live in registers; the loop is the
+// innermost of the whole library.
+func microKernel(kc int, ap, bp []float64, acc *[mr * nr]float64) {
+	var c00, c01, c02, c03 float64
+	var c10, c11, c12, c13 float64
+	var c20, c21, c22, c23 float64
+	var c30, c31, c32, c33 float64
+	ap = ap[: kc*mr : kc*mr]
+	bp = bp[: kc*nr : kc*nr]
+	for p := 0; p < kc; p++ {
+		a0 := ap[p*mr]
+		a1 := ap[p*mr+1]
+		a2 := ap[p*mr+2]
+		a3 := ap[p*mr+3]
+		b0 := bp[p*nr]
+		b1 := bp[p*nr+1]
+		b2 := bp[p*nr+2]
+		b3 := bp[p*nr+3]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c22 += a2 * b2
+		c23 += a2 * b3
+		c30 += a3 * b0
+		c31 += a3 * b1
+		c32 += a3 * b2
+		c33 += a3 * b3
+	}
+	acc[0], acc[1], acc[2], acc[3] = c00, c01, c02, c03
+	acc[4], acc[5], acc[6], acc[7] = c10, c11, c12, c13
+	acc[8], acc[9], acc[10], acc[11] = c20, c21, c22, c23
+	acc[12], acc[13], acc[14], acc[15] = c30, c31, c32, c33
+}
+
+func writeBack(alpha float64, acc *[mr * nr]float64, c mat.View, ir, jr, mrr, nrr int) {
+	for r := 0; r < mrr; r++ {
+		for q := 0; q < nrr; q++ {
+			c.Add(ir+r, jr+q, alpha*acc[r*nr+q])
+		}
+	}
+}

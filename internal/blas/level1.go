@@ -1,0 +1,155 @@
+package blas
+
+import (
+	"math"
+
+	"repro/internal/mat"
+)
+
+// Dot returns xᵀy for equal-length vectors.
+func Dot(x, y mat.Vec) float64 {
+	if x.N != y.N {
+		panic("blas: dot length mismatch")
+	}
+	if x.Inc == 1 && y.Inc == 1 {
+		return dotUnit(x.Data[:x.N], y.Data[:x.N])
+	}
+	s := 0.0
+	for i := 0; i < x.N; i++ {
+		s += x.At(i) * y.At(i)
+	}
+	return s
+}
+
+// dotUnit is the unit-stride dot product, unrolled 4-way so the compiler
+// keeps the partial sums in registers.
+func dotUnit(x, y []float64) float64 {
+	n := len(x)
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		s0 += x[i] * y[i]
+		s1 += x[i+1] * y[i+1]
+		s2 += x[i+2] * y[i+2]
+		s3 += x[i+3] * y[i+3]
+	}
+	s := s0 + s1 + s2 + s3
+	for ; i < n; i++ {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+// Axpy computes y += alpha*x.
+func Axpy(alpha float64, x, y mat.Vec) {
+	if x.N != y.N {
+		panic("blas: axpy length mismatch")
+	}
+	if alpha == 0 {
+		return
+	}
+	if x.Inc == 1 && y.Inc == 1 {
+		xd, yd := x.Data[:x.N], y.Data[:x.N]
+		for i := range xd {
+			yd[i] += alpha * xd[i]
+		}
+		return
+	}
+	for i := 0; i < x.N; i++ {
+		y.Set(i, y.At(i)+alpha*x.At(i))
+	}
+}
+
+// Scal computes x *= alpha.
+func Scal(alpha float64, x mat.Vec) {
+	if x.Inc == 1 {
+		xd := x.Data[:x.N]
+		for i := range xd {
+			xd[i] *= alpha
+		}
+		return
+	}
+	for i := 0; i < x.N; i++ {
+		x.Set(i, alpha*x.At(i))
+	}
+}
+
+// Nrm2 returns the Euclidean norm of x, scaled to avoid overflow.
+func Nrm2(x mat.Vec) float64 {
+	scale := 0.0
+	ssq := 1.0
+	for i := 0; i < x.N; i++ {
+		v := x.At(i)
+		if v == 0 {
+			continue
+		}
+		a := math.Abs(v)
+		if scale < a {
+			r := scale / a
+			ssq = 1 + ssq*r*r
+			scale = a
+		} else {
+			r := a / scale
+			ssq += r * r
+		}
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// Asum returns the sum of absolute values of x.
+func Asum(x mat.Vec) float64 {
+	s := 0.0
+	for i := 0; i < x.N; i++ {
+		s += math.Abs(x.At(i))
+	}
+	return s
+}
+
+// IAmax returns the index of the element of largest magnitude, or -1 for an
+// empty vector.
+func IAmax(x mat.Vec) int {
+	if x.N == 0 {
+		return -1
+	}
+	best, idx := math.Abs(x.At(0)), 0
+	for i := 1; i < x.N; i++ {
+		if a := math.Abs(x.At(i)); a > best {
+			best, idx = a, i
+		}
+	}
+	return idx
+}
+
+// CopyVec copies x into y.
+func CopyVec(x, y mat.Vec) {
+	if x.N != y.N {
+		panic("blas: copy length mismatch")
+	}
+	if x.Inc == 1 && y.Inc == 1 {
+		copy(y.Data[:y.N], x.Data[:x.N])
+		return
+	}
+	for i := 0; i < x.N; i++ {
+		y.Set(i, x.At(i))
+	}
+}
+
+// Had computes z = x ∗ y, the elementwise (Hadamard) product, for
+// unit-stride slices. It is the inner kernel of the row-wise Khatri-Rao
+// product (Algorithm 1), so it is kept allocation-free and unrolled.
+func Had(x, y, z []float64) {
+	if len(x) != len(y) || len(x) != len(z) {
+		panic("blas: hadamard length mismatch")
+	}
+	n := len(z)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		z[i] = x[i] * y[i]
+		z[i+1] = x[i+1] * y[i+1]
+		z[i+2] = x[i+2] * y[i+2]
+		z[i+3] = x[i+3] * y[i+3]
+	}
+	for ; i < n; i++ {
+		z[i] = x[i] * y[i]
+	}
+}

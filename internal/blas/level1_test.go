@@ -1,0 +1,173 @@
+package blas
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mat"
+)
+
+func vec(xs ...float64) mat.Vec { return mat.FromSlice(xs) }
+
+func TestDot(t *testing.T) {
+	if got := Dot(vec(1, 2, 3), vec(4, 5, 6)); got != 32 {
+		t.Errorf("Dot = %v, want 32", got)
+	}
+	// Length 5 exercises both the unrolled body and the tail.
+	if got := Dot(vec(1, 1, 1, 1, 1), vec(1, 2, 3, 4, 5)); got != 15 {
+		t.Errorf("Dot = %v, want 15", got)
+	}
+	if got := Dot(vec(), vec()); got != 0 {
+		t.Errorf("empty Dot = %v, want 0", got)
+	}
+}
+
+func TestDotStrided(t *testing.T) {
+	x := mat.Vec{Data: []float64{1, 0, 2, 0, 3}, N: 3, Inc: 2}
+	y := vec(1, 1, 1)
+	if got := Dot(x, y); got != 6 {
+		t.Errorf("strided Dot = %v, want 6", got)
+	}
+}
+
+func TestDotMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Dot(vec(1, 2), vec(1))
+}
+
+func TestAxpy(t *testing.T) {
+	y := vec(1, 1, 1, 1, 1)
+	Axpy(2, vec(1, 2, 3, 4, 5), y)
+	want := []float64{3, 5, 7, 9, 11}
+	for i, v := range y.Data {
+		if v != want[i] {
+			t.Errorf("axpy[%d] = %v, want %v", i, v, want[i])
+		}
+	}
+	// alpha = 0 is a no-op.
+	before := append([]float64(nil), y.Data...)
+	Axpy(0, vec(9, 9, 9, 9, 9), y)
+	for i := range before {
+		if y.Data[i] != before[i] {
+			t.Error("axpy with alpha=0 modified y")
+		}
+	}
+}
+
+func TestAxpyStrided(t *testing.T) {
+	y := mat.Vec{Data: []float64{0, -1, 0, -1}, N: 2, Inc: 2}
+	Axpy(1, vec(5, 7), y)
+	if y.Data[0] != 5 || y.Data[2] != 7 || y.Data[1] != -1 {
+		t.Errorf("strided axpy wrong: %v", y.Data)
+	}
+}
+
+func TestScal(t *testing.T) {
+	x := vec(1, 2, 3)
+	Scal(3, x)
+	if x.Data[0] != 3 || x.Data[2] != 9 {
+		t.Errorf("scal wrong: %v", x.Data)
+	}
+	s := mat.Vec{Data: []float64{1, 100, 2}, N: 2, Inc: 2}
+	Scal(2, s)
+	if s.Data[0] != 2 || s.Data[2] != 4 || s.Data[1] != 100 {
+		t.Errorf("strided scal wrong: %v", s.Data)
+	}
+}
+
+func TestNrm2(t *testing.T) {
+	if got := Nrm2(vec(3, 4)); math.Abs(got-5) > 1e-15 {
+		t.Errorf("Nrm2 = %v, want 5", got)
+	}
+	if got := Nrm2(vec(0, 0, 0)); got != 0 {
+		t.Errorf("Nrm2 of zero = %v", got)
+	}
+	// Overflow safety: plain sum of squares would overflow.
+	big := 1e200
+	if got := Nrm2(vec(big, big)); math.Abs(got-big*math.Sqrt2) > 1e186 {
+		t.Errorf("Nrm2 overflow-unsafe: %v", got)
+	}
+}
+
+func TestAsumIAmax(t *testing.T) {
+	if got := Asum(vec(-1, 2, -3)); got != 6 {
+		t.Errorf("Asum = %v, want 6", got)
+	}
+	if got := IAmax(vec(-1, 5, -7, 2)); got != 2 {
+		t.Errorf("IAmax = %v, want 2", got)
+	}
+	if got := IAmax(vec()); got != -1 {
+		t.Errorf("IAmax empty = %v, want -1", got)
+	}
+}
+
+func TestCopyVec(t *testing.T) {
+	y := vec(0, 0, 0)
+	CopyVec(vec(1, 2, 3), y)
+	if y.Data[1] != 2 {
+		t.Errorf("copy wrong: %v", y.Data)
+	}
+	ys := mat.Vec{Data: make([]float64, 6), N: 3, Inc: 2}
+	CopyVec(vec(7, 8, 9), ys)
+	if ys.Data[0] != 7 || ys.Data[2] != 8 || ys.Data[4] != 9 {
+		t.Errorf("strided copy wrong: %v", ys.Data)
+	}
+}
+
+func TestHad(t *testing.T) {
+	z := make([]float64, 5)
+	Had([]float64{1, 2, 3, 4, 5}, []float64{2, 2, 2, 2, 2}, z)
+	for i, v := range z {
+		if v != float64(i+1)*2 {
+			t.Errorf("Had[%d] = %v", i, v)
+		}
+	}
+	// In-place use: z aliases x, as in the KRP inner loop.
+	x := []float64{1, 2, 3}
+	Had(x, []float64{3, 3, 3}, x)
+	if x[0] != 3 || x[2] != 9 {
+		t.Errorf("in-place Had wrong: %v", x)
+	}
+}
+
+func TestHadMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Had([]float64{1}, []float64{1, 2}, []float64{0})
+}
+
+// Property: Dot is bilinear in its first argument.
+func TestDotBilinearQuick(t *testing.T) {
+	f := func(seed int64, alpha float64) bool {
+		if math.IsNaN(alpha) || math.IsInf(alpha, 0) || math.Abs(alpha) > 1e6 {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		n := 17
+		x := make([]float64, n)
+		y := make([]float64, n)
+		z := make([]float64, n)
+		for i := range x {
+			x[i], y[i], z[i] = rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()
+		}
+		ax := make([]float64, n)
+		for i := range ax {
+			ax[i] = alpha*x[i] + y[i]
+		}
+		lhs := Dot(mat.FromSlice(ax), mat.FromSlice(z))
+		rhs := alpha*Dot(mat.FromSlice(x), mat.FromSlice(z)) + Dot(mat.FromSlice(y), mat.FromSlice(z))
+		return math.Abs(lhs-rhs) <= 1e-9*(1+math.Abs(lhs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

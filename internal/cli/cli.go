@@ -1,0 +1,80 @@
+// Package cli holds the small argument-parsing helpers shared by the
+// command-line tools (cmd/cpd, cmd/mttkrp-bench) and examples.
+package cli
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// ParseDims parses a comma-separated dimension list such as "225,59,200".
+// At least two positive dimensions are required.
+func ParseDims(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	dims := make([]int, 0, len(parts))
+	for _, p := range parts {
+		d, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || d <= 0 {
+			return nil, fmt.Errorf("bad dimension %q in %q", p, s)
+		}
+		dims = append(dims, d)
+	}
+	if len(dims) < 2 {
+		return nil, fmt.Errorf("need at least 2 dimensions, got %q", s)
+	}
+	return dims, nil
+}
+
+// ParseMethod maps a user-facing MTTKRP method name to its core.Method.
+func ParseMethod(s string) (core.Method, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "auto", "":
+		return core.MethodAuto, nil
+	case "1step", "1-step", "one-step", "onestep":
+		return core.MethodOneStep, nil
+	case "2step", "2-step", "two-step", "twostep":
+		return core.MethodTwoStep, nil
+	case "reorder", "baseline":
+		return core.MethodReorder, nil
+	}
+	return 0, fmt.Errorf("unknown method %q (want auto, 1step, 2step, reorder)", s)
+}
+
+// FormatBytes renders a byte count human-readably for status lines.
+func FormatBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", n)
+}
+
+// Slug reduces a free-form title to a safe, lowercase file-name fragment
+// of at most 48 characters (used for CSV file names).
+func Slug(s string) string {
+	var b strings.Builder
+	lastDash := false
+	for _, r := range strings.ToLower(s) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			b.WriteRune(r)
+			lastDash = false
+		default:
+			if !lastDash && b.Len() > 0 {
+				b.WriteByte('-')
+				lastDash = true
+			}
+		}
+		if b.Len() >= 48 {
+			break
+		}
+	}
+	return strings.TrimSuffix(b.String(), "-")
+}

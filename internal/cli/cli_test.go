@@ -1,0 +1,105 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestParseDims(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []int
+		ok   bool
+	}{
+		{"225,59,200", []int{225, 59, 200}, true},
+		{" 4 , 5 ", []int{4, 5}, true},
+		{"3", nil, false},
+		{"", nil, false},
+		{"4,0", nil, false},
+		{"4,-2", nil, false},
+		{"4,x", nil, false},
+		{"2,3,4,5,6", []int{2, 3, 4, 5, 6}, true},
+	}
+	for _, c := range cases {
+		got, err := ParseDims(c.in)
+		if c.ok != (err == nil) {
+			t.Errorf("ParseDims(%q): err = %v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if !c.ok {
+			continue
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("ParseDims(%q) = %v", c.in, got)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("ParseDims(%q)[%d] = %d, want %d", c.in, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+func TestParseMethod(t *testing.T) {
+	cases := map[string]core.Method{
+		"auto": core.MethodAuto, "": core.MethodAuto,
+		"1step": core.MethodOneStep, "1-Step": core.MethodOneStep, "ONESTEP": core.MethodOneStep,
+		"2step": core.MethodTwoStep, "two-step": core.MethodTwoStep,
+		"reorder": core.MethodReorder, "baseline": core.MethodReorder,
+		" auto ": core.MethodAuto,
+	}
+	for in, want := range cases {
+		got, err := ParseMethod(in)
+		if err != nil || got != want {
+			t.Errorf("ParseMethod(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseMethod("fft"); err == nil {
+		t.Error("unknown method should fail")
+	}
+	if _, err := ParseMethod("naive"); err == nil {
+		t.Error("naive is not user-selectable")
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := map[int64]string{
+		12:          "12 B",
+		2048:        "2.0 KiB",
+		3 << 20:     "3.0 MiB",
+		5 << 30:     "5.0 GiB",
+		1536:        "1.5 KiB",
+		1<<30 + 512: "1.0 GiB",
+	}
+	for in, want := range cases {
+		if got := FormatBytes(in); got != want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+	if !strings.HasSuffix(FormatBytes(999), " B") {
+		t.Error("sub-KiB should be bytes")
+	}
+}
+
+func TestSlug(t *testing.T) {
+	cases := map[string]string{
+		"Figure 4 (C=25): KRP time": "figure-4-c-25-krp-time",
+		"  lots   of   spaces  ":    "lots-of-spaces",
+		"UPPER lower 123":           "upper-lower-123",
+		"":                          "",
+		"---":                       "",
+		"trailing punctuation!!!":   "trailing-punctuation",
+	}
+	for in, want := range cases {
+		if got := Slug(in); got != want {
+			t.Errorf("Slug(%q) = %q, want %q", in, got, want)
+		}
+	}
+	long := Slug("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa")
+	if len(long) > 48 {
+		t.Errorf("Slug did not truncate: %d chars", len(long))
+	}
+}

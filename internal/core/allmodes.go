@@ -1,0 +1,128 @@
+package core
+
+import (
+	"repro/internal/blas"
+	"repro/internal/krp"
+	"repro/internal/mat"
+	"repro/internal/parallel"
+	"repro/internal/tensor"
+)
+
+// SweepAll performs the MTTKRPs of one full ALS sweep (modes 0..N-1, in
+// order) while avoiding recomputation across modes — the extension the
+// paper names as its natural next step (Section 6), following Phan et al.
+// [19, Section III.C].
+//
+// The modes are split into a left half {0..s-1} and right half {s..N-1}
+// with s chosen to minimize the intermediate sizes. The sweep then costs
+// two passes over the tensor instead of N:
+//
+//  1. a right partial MTTKRP R = X_(0:s-1)·K_R (one GEMM over all tensor
+//     entries), from which each left mode's MTTKRP is derived by cheap
+//     multi-TTVs over the small intermediate R;
+//  2. after the left factors are updated, a left partial MTTKRP
+//     L = X_(0:s-1)ᵀ·K_L, from which each right mode's MTTKRP is derived.
+//
+// update(n, m) is called once per mode, in ALS order, with the raw MTTKRP
+// result; it must perform the factor update in place (writing through
+// u[n]) before returning, because later derivations read the updated
+// factors. The scheme computes exactly the same MTTKRPs as per-mode calls
+// inside an ALS sweep — this is an optimization, not an approximation.
+//
+// For order-2 tensors the intermediates are the results themselves and
+// the scheme degenerates to two ordinary MTTKRPs.
+func SweepAll(x *tensor.Dense, u []mat.View, opts Options, update func(n int, m mat.View)) {
+	validate(x, u, 0)
+	n := x.Order()
+	s := splitPoint(x)
+	t := parallel.Clamp(opts.Threads, 0)
+	c := rank(u)
+	bd := opts.Breakdown
+	totalW := startWatch()
+
+	// Phase 1: contract the right half once; derive modes 0..s-1.
+	leftSize := x.SizeLeft(s-1) * x.Dim(s-1)
+	r := mat.NewColMajor(leftSize, c)
+	kr := mat.NewDense(krp.NumRows(rightOperands(u, s-1)), c)
+	sw := startWatch()
+	krp.Parallel(t, rightOperands(u, s-1), kr)
+	bd.add(PhaseLRKRP, sw.elapsed())
+	sw = startWatch()
+	blas.Gemm(t, 1, x.MatricizeRowModes(s-1), kr, 0, r)
+	bd.add(PhaseGEMM, sw.elapsed())
+
+	leftDims := x.Dims()[:s]
+	for mode := 0; mode < s; mode++ {
+		sw = startWatch()
+		m := deriveFromIntermediate(t, r, leftDims, u[:s], mode)
+		bd.add(PhaseGEMV, sw.elapsed())
+		update(mode, m)
+	}
+
+	// Phase 2: contract the (updated) left half once; derive s..N-1.
+	rightSize := x.Size() / leftSize
+	l := mat.NewColMajor(rightSize, c)
+	kl := mat.NewDense(krp.NumRows(leftOperands(u, s)), c)
+	sw = startWatch()
+	krp.Parallel(t, leftOperands(u, s), kl)
+	bd.add(PhaseLRKRP, sw.elapsed())
+	sw = startWatch()
+	blas.Gemm(t, 1, x.MatricizeRowModes(s-1).T(), kl, 0, l)
+	bd.add(PhaseGEMM, sw.elapsed())
+
+	rightDims := x.Dims()[s:]
+	for mode := s; mode < n; mode++ {
+		sw = startWatch()
+		m := deriveFromIntermediate(t, l, rightDims, u[s:], mode-s)
+		bd.add(PhaseGEMV, sw.elapsed())
+		update(mode, m)
+	}
+	bd.addTotal(totalW.elapsed())
+}
+
+// splitPoint chooses s to minimize the combined size of the two
+// intermediates, I_{0..s-1} + I_{s..N-1} (both scale with C).
+func splitPoint(x *tensor.Dense) int {
+	n := x.Order()
+	best, bestCost := 1, -1
+	for s := 1; s < n; s++ {
+		left := x.SizeLeft(s-1) * x.Dim(s-1)
+		right := x.Size() / left
+		cost := left + right
+		if bestCost < 0 || cost < bestCost {
+			best, bestCost = s, cost
+		}
+	}
+	return best
+}
+
+// deriveFromIntermediate computes the MTTKRP of mode `mode` (an index into
+// dims/factors, which describe one half) from the half's intermediate: an
+// (∏dims) × C column-major matrix whose column c is the natural-layout
+// subtensor for component c. Column c of the result is the subtensor
+// contracted against factors[k] column c for every k ≠ mode. Columns are
+// independent and processed in parallel.
+func deriveFromIntermediate(t int, inter mat.View, dims []int, factors []mat.View, mode int) mat.View {
+	c := inter.C
+	out := mat.NewDense(dims[mode], c)
+	size := inter.R
+	parallel.For(t, c, func(_, lo, hi int) {
+		for col := lo; col < hi; col++ {
+			sub := tensor.FromData(inter.Data[col*size:(col+1)*size], dims...)
+			// Contract every mode except `mode`, highest original mode
+			// first so remaining mode indices are unaffected.
+			for k := len(dims) - 1; k >= 0; k-- {
+				if k == mode {
+					continue
+				}
+				v := make([]float64, factors[k].R)
+				blas.CopyVec(factors[k].Col(col), mat.FromSlice(v))
+				sub = sub.TTV(k, v)
+			}
+			for i := 0; i < dims[mode]; i++ {
+				out.Set(i, col, sub.Data()[i])
+			}
+		}
+	})
+	return out
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mat"
+	"repro/internal/tensor"
+)
+
+// TestSweepAllMatchesPerModeCalls verifies the recomputation-avoidance
+// scheme computes exactly the per-mode MTTKRPs of an ALS sweep, including
+// the mid-sweep factor updates: after each mode's result is delivered, the
+// test mutates that factor (as ALS would) and checks the next mode's
+// result against a fresh per-mode computation with the current factors.
+func TestSweepAllMatchesPerModeCalls(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, dims := range [][]int{{4, 5}, {4, 5, 6}, {3, 4, 2, 5}, {2, 3, 2, 3, 2}, {1, 4, 3}, {2, 2, 2, 2, 2, 2}} {
+		x, u := randomProblem(rng, dims, 4)
+		// Shadow copy that receives the same simulated updates, used to
+		// compute the expected per-mode results independently.
+		shadow := make([]mat.View, len(u))
+		for i := range u {
+			shadow[i] = u[i].Clone()
+		}
+		modeSeen := -1
+		SweepAll(x, u, Options{Threads: 2}, func(n int, m mat.View) {
+			if n != modeSeen+1 {
+				t.Fatalf("dims=%v: modes out of order: got %d after %d", dims, n, modeSeen)
+			}
+			modeSeen = n
+			want := Naive(x, shadow, n)
+			if !mat.ApproxEqual(m, want, 1e-10) {
+				t.Fatalf("dims=%v mode=%d: sweep result differs from per-mode MTTKRP (%g)",
+					dims, n, mat.MaxAbsDiff(m, want))
+			}
+			// Simulate the ALS factor update: overwrite with new values.
+			fresh := mat.RandomDense(u[n].R, u[n].C, rng)
+			u[n] = fresh
+			shadow[n] = fresh.Clone()
+		})
+		if modeSeen != len(dims)-1 {
+			t.Fatalf("dims=%v: only %d modes delivered", dims, modeSeen+1)
+		}
+	}
+}
+
+func TestSweepAllWithoutUpdatesMatchesCompute(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x, u := randomProblem(rng, []int{5, 4, 3, 4}, 6)
+	// If the callback does not update factors, every mode must equal the
+	// plain MTTKRP with the original factors.
+	SweepAll(x, u, Options{Threads: 1}, func(n int, m mat.View) {
+		want := Naive(x, u, n)
+		if !mat.ApproxEqual(m, want, 1e-10) {
+			t.Errorf("mode %d: mismatch %g", n, mat.MaxAbsDiff(m, want))
+		}
+	})
+}
+
+func TestSweepAllBreakdown(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x, u := randomProblem(rng, []int{8, 9, 10}, 5)
+	var bd Breakdown
+	count := 0
+	SweepAll(x, u, Options{Threads: 2, Breakdown: &bd}, func(int, mat.View) { count++ })
+	if count != 3 {
+		t.Fatalf("delivered %d modes", count)
+	}
+	if bd.Get(PhaseGEMM) <= 0 || bd.Get(PhaseGEMV) <= 0 || bd.Total() <= 0 {
+		t.Errorf("breakdown not populated: %v", &bd)
+	}
+}
+
+func TestSplitPointBalances(t *testing.T) {
+	cases := []struct {
+		dims []int
+		want int
+	}{
+		{[]int{10, 10}, 1},
+		{[]int{10, 10, 10}, 1},     // 10+100 = 110 beats 100+10 tie; s=1 found first
+		{[]int{10, 10, 10, 10}, 2}, // 100+100 minimal
+		{[]int{2, 100, 2}, 2},      // 200+2 vs 2+200: tie, first wins... s=1: 2+200; s=2: 200+2 -> s=1
+	}
+	for _, c := range cases {
+		x := tensor.New(c.dims...)
+		got := splitPoint(x)
+		// Verify optimality rather than the exact index (ties allowed).
+		bestCost := x.SizeLeft(got-1)*x.Dim(got-1) + x.Size()/(x.SizeLeft(got-1)*x.Dim(got-1))
+		for s := 1; s < len(c.dims); s++ {
+			left := x.SizeLeft(s-1) * x.Dim(s-1)
+			if cost := left + x.Size()/left; cost < bestCost {
+				t.Errorf("dims=%v: splitPoint %d cost %d beaten by s=%d cost %d",
+					c.dims, got, bestCost, s, cost)
+			}
+		}
+	}
+}
+
+// Property: for random shapes and random mid-sweep updates, SweepAll
+// agrees with per-mode computation throughout.
+func TestSweepAllQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		order := rng.Intn(4) + 2
+		dims := make([]int, order)
+		for i := range dims {
+			dims[i] = rng.Intn(4) + 1
+		}
+		x, u := randomProblem(rng, dims, rng.Intn(4)+1)
+		ok := true
+		SweepAll(x, u, Options{Threads: rng.Intn(3) + 1}, func(n int, m mat.View) {
+			if !mat.ApproxEqual(m, Naive(x, u, n), 1e-9) {
+				ok = false
+			}
+			u[n] = mat.RandomDense(u[n].R, u[n].C, rng)
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,203 @@
+// Package core implements the paper's MTTKRP algorithms for dense tensors
+// in natural layout: the novel 1-step algorithm (Algorithms 2 and 3), the
+// 2-step algorithm of Phan et al. (Algorithm 4), and the classical
+// explicit-reorder baseline of Bader and Kolda. All variants compute
+//
+//	M = X_(n) · (U_{N-1} ⊙ ⋯ ⊙ U_{n+1} ⊙ U_{n-1} ⊙ ⋯ ⊙ U₀)
+//
+// where X is an N-way dense tensor, U_k are I_k × C factor matrices, and
+// ⊙ is the Khatri-Rao product. The 1-step and 2-step algorithms never
+// reorder tensor entries; they multiply strided views of the tensor buffer
+// directly (see package tensor for the layout structure).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+	"repro/internal/tensor"
+)
+
+// Method selects an MTTKRP algorithm.
+type Method int
+
+const (
+	// MethodAuto (the zero value, hence the default everywhere) is the
+	// paper's CP-ALS choice (Section 5.3.3): 1-step for external modes,
+	// 2-step for internal modes.
+	MethodAuto Method = iota
+	// MethodOneStep is the paper's 1-step algorithm: form KRP rows and
+	// multiply tensor blocks in place (Algorithm 3; Algorithm 2 is the
+	// sequential full-KRP variant, available as OneStepSequential).
+	MethodOneStep
+	// MethodTwoStep is the partial-MTTKRP + multi-TTV algorithm of Phan et
+	// al. (Algorithm 4). For external modes it degenerates to 1-step.
+	MethodTwoStep
+	// MethodReorder is the Bader–Kolda baseline: explicitly reorder the
+	// tensor into a column-major X_(n), form the full KRP, one GEMM.
+	MethodReorder
+	// MethodNaive is the direct-definition reference (for validation).
+	MethodNaive
+)
+
+// String returns the method name used in benchmark output.
+func (m Method) String() string {
+	switch m {
+	case MethodOneStep:
+		return "1-step"
+	case MethodTwoStep:
+		return "2-step"
+	case MethodReorder:
+		return "reorder"
+	case MethodAuto:
+		return "auto"
+	case MethodNaive:
+		return "naive"
+	}
+	return fmt.Sprintf("Method(%d)", int(m))
+}
+
+// Options configures an MTTKRP computation.
+type Options struct {
+	// Threads is the worker count; 0 selects GOMAXPROCS.
+	Threads int
+	// Breakdown, when non-nil, receives per-phase wall times (Figure 6).
+	Breakdown *Breakdown
+	// DynamicGrain, when positive, switches the internal-mode 1-step block
+	// loop from static contiguous partitioning to dynamic chunks of this
+	// many blocks (ablation knob).
+	DynamicGrain int
+	// BlasOnlyParallel restricts MethodReorder to parallelism inside the
+	// GEMM call only, the way Matlab Tensor Toolbox on a multithreaded
+	// BLAS behaves: the tensor permute and the KRP formation run on a
+	// single thread. Used by the Figure 7 comparator.
+	BlasOnlyParallel bool
+	// KRPChunkRows, when positive, bounds the temporary memory of the
+	// 1-step algorithm's external modes: each worker streams its KRP row
+	// block in chunks of at most this many rows, GEMMing each chunk
+	// immediately (the blocking idea of Vannieuwenhoven et al. [25],
+	// cited in the paper's related work). Zero materializes the whole
+	// per-worker block, as in Algorithm 3. The result is identical.
+	KRPChunkRows int
+}
+
+// Compute runs the selected MTTKRP method for mode n and returns the
+// I_n × C result matrix (row-major).
+func Compute(method Method, x *tensor.Dense, u []mat.View, n int, opts Options) mat.View {
+	validate(x, u, n)
+	switch method {
+	case MethodOneStep:
+		return OneStep(x, u, n, opts)
+	case MethodTwoStep:
+		return TwoStep(x, u, n, opts)
+	case MethodReorder:
+		return Reorder(x, u, n, opts)
+	case MethodAuto:
+		if isExternal(x, n) {
+			return OneStep(x, u, n, opts)
+		}
+		return TwoStep(x, u, n, opts)
+	case MethodNaive:
+		return Naive(x, u, n)
+	}
+	panic(fmt.Sprintf("core: unknown method %d", int(method)))
+}
+
+// Methods lists the production algorithms (excluding the naive reference),
+// in the order benchmarks report them.
+func Methods() []Method {
+	return []Method{MethodOneStep, MethodTwoStep, MethodReorder, MethodAuto}
+}
+
+func isExternal(x *tensor.Dense, n int) bool {
+	return n == 0 || n == x.Order()-1
+}
+
+// validate checks the factor matrices against the tensor.
+func validate(x *tensor.Dense, u []mat.View, n int) {
+	nModes := x.Order()
+	if nModes < 2 {
+		panic("core: MTTKRP requires an order ≥ 2 tensor")
+	}
+	if len(u) != nModes {
+		panic(fmt.Sprintf("core: %d factor matrices for an order-%d tensor", len(u), nModes))
+	}
+	if n < 0 || n >= nModes {
+		panic(fmt.Sprintf("core: mode %d out of range [0,%d)", n, nModes))
+	}
+	c := u[0].C
+	for k, m := range u {
+		if m.R != x.Dim(k) {
+			panic(fmt.Sprintf("core: factor %d has %d rows, want %d", k, m.R, x.Dim(k)))
+		}
+		if m.C != c {
+			panic(fmt.Sprintf("core: factor %d has %d columns, want %d", k, m.C, c))
+		}
+		if m.CS != 1 {
+			panic(fmt.Sprintf("core: factor %d must have unit column stride", k))
+		}
+	}
+}
+
+// rank returns the shared column count C of the factors.
+func rank(u []mat.View) int { return u[0].C }
+
+// operands returns the KRP operand list for mode n in the paper's order
+// [U_{N-1}, …, U_{n+1}, U_{n-1}, …, U₀], so that U₀'s row index varies
+// fastest, matching the column linearization of X_(n).
+func operands(u []mat.View, n int) []mat.View {
+	ops := make([]mat.View, 0, len(u)-1)
+	for k := len(u) - 1; k >= 0; k-- {
+		if k != n {
+			ops = append(ops, u[k])
+		}
+	}
+	return ops
+}
+
+// leftOperands returns [U_{n-1}, …, U₀]: the left partial KRP K_L, whose
+// rows are indexed by the linearization of modes 0..n-1.
+func leftOperands(u []mat.View, n int) []mat.View {
+	ops := make([]mat.View, 0, n)
+	for k := n - 1; k >= 0; k-- {
+		ops = append(ops, u[k])
+	}
+	return ops
+}
+
+// rightOperands returns [U_{N-1}, …, U_{n+1}]: the right partial KRP K_R,
+// whose rows are indexed by the linearization of modes n+1..N-1.
+func rightOperands(u []mat.View, n int) []mat.View {
+	ops := make([]mat.View, 0, len(u)-n-1)
+	for k := len(u) - 1; k > n; k-- {
+		ops = append(ops, u[k])
+	}
+	return ops
+}
+
+// Naive computes the MTTKRP directly from the definition,
+// M(i, c) = Σ over all entries X(i₀,…,i_{N-1}) ∏_{k≠n} U_k(i_k, c).
+// It is the validation reference for every other method.
+func Naive(x *tensor.Dense, u []mat.View, n int) mat.View {
+	validate(x, u, n)
+	c := rank(u)
+	m := mat.NewDense(x.Dim(n), c)
+	idx := make([]int, x.Order())
+	data := x.Data()
+	for l, v := range data {
+		if v == 0 {
+			continue
+		}
+		x.MultiIndex(l, idx)
+		for cc := 0; cc < c; cc++ {
+			p := v
+			for k := range u {
+				if k != n {
+					p *= u[k].At(idx[k], cc)
+				}
+			}
+			m.Add(idx[n], cc, p)
+		}
+	}
+	return m
+}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/blas"
+	"repro/internal/krp"
+	"repro/internal/mat"
+	"repro/internal/parallel"
+	"repro/internal/tensor"
+)
+
+// OneStepSequential is Algorithm 2: form the full KRP with Algorithm 1,
+// then multiply without reordering — a single GEMM for mode 0, or a block
+// inner product over the I^R_n row-major blocks for other modes. It is the
+// literal sequential algorithm; OneStep with Threads == 1 is the slightly
+// leaner variant the paper actually benchmarks (it forms K blockwise for
+// internal modes instead of all at once).
+func OneStepSequential(x *tensor.Dense, u []mat.View, n int, opts Options) mat.View {
+	validate(x, u, n)
+	c := rank(u)
+	in := x.Dim(n)
+	bd := opts.Breakdown
+	totalW := startWatch()
+
+	ops := operands(u, n)
+	k := mat.NewDense(krp.NumRows(ops), c)
+	m := mat.NewDense(in, c)
+
+	w := startWatch()
+	krp.Full(ops, k)
+	bd.add(PhaseFullKRP, w.elapsed())
+
+	w = startWatch()
+	if n == 0 {
+		// X_(0) is column-major: a single BLAS call.
+		blas.Gemm(1, 1, x.Matricize(0), k, 0, m)
+	} else {
+		il := x.SizeLeft(n)
+		for j := 0; j < x.NumModeBlocks(n); j++ {
+			kj := k.Slice(j*il, (j+1)*il, 0, c)
+			blas.Gemm(1, 1, x.ModeBlock(n, j), kj, 1, m)
+		}
+	}
+	bd.add(PhaseGEMM, w.elapsed())
+	bd.addTotal(totalW.elapsed())
+	return m
+}
+
+// OneStep is Algorithm 3, the parallel 1-step MTTKRP. External modes
+// (n = 0 or n = N-1) partition the columns of X_(n) across workers, each
+// forming its own row block of the KRP and accumulating into a private
+// output; internal modes precompute the left KRP and partition the
+// I^R_n tensor blocks, forming each block's KRP rows on the fly. Both end
+// with a parallel reduction of the private outputs.
+func OneStep(x *tensor.Dense, u []mat.View, n int, opts Options) mat.View {
+	validate(x, u, n)
+	if isExternal(x, n) {
+		return oneStepExternal(x, u, n, opts)
+	}
+	return oneStepInternal(x, u, n, opts)
+}
+
+func oneStepExternal(x *tensor.Dense, u []mat.View, n int, opts Options) mat.View {
+	c := rank(u)
+	in := x.Dim(n)
+	other := x.SizeOther(n)
+	bd := opts.Breakdown
+	t := parallel.Clamp(opts.Threads, other)
+
+	ops := operands(u, n)
+	xn := x.Matricize(n)
+	ranges := parallel.Split(other, t)
+
+	// Pre-allocate all private buffers outside the timed phases, as a C
+	// implementation would hoist them out of the benchmark loop. With
+	// KRPChunkRows set, each worker's KRP buffer shrinks to the chunk
+	// size (Vannieuwenhoven-style memory bounding).
+	maxB := ranges[0].Len()
+	chunk := opts.KRPChunkRows
+	if chunk <= 0 || chunk > maxB {
+		chunk = maxB
+	}
+	kBufs := make([]mat.View, t)
+	mBufs := make([]mat.View, t)
+	parts := make([][]float64, t)
+	for w := 0; w < t; w++ {
+		kBufs[w] = mat.NewDense(chunk, c)
+		mBufs[w] = mat.NewDense(in, c)
+		parts[w] = mBufs[w].Data
+	}
+
+	totalW := startWatch()
+	baseKRP := bd.Get(PhaseFullKRP)
+	baseGEMM := bd.Get(PhaseGEMM)
+	parallel.Run(t, func(w int) {
+		r := ranges[w]
+		if r.Len() == 0 {
+			return
+		}
+		var dKRP, dGEMM time.Duration
+		beta := 0.0 // first chunk overwrites the private accumulator
+		for lo := r.Lo; lo < r.Hi; lo += chunk {
+			hi := lo + chunk
+			if hi > r.Hi {
+				hi = r.Hi
+			}
+			kt := kBufs[w].Slice(0, hi-lo, 0, c)
+			sw := startWatch()
+			krp.Rows(ops, lo, hi, kt)
+			dKRP += sw.elapsed()
+
+			sw = startWatch()
+			blas.Gemm(1, 1, xn.Slice(0, in, lo, hi), kt, beta, mBufs[w])
+			dGEMM += sw.elapsed()
+			beta = 1
+		}
+		bd.addMax(PhaseFullKRP, baseKRP, dKRP)
+		bd.addMax(PhaseGEMM, baseGEMM, dGEMM)
+	})
+
+	sw := startWatch()
+	parallel.ReduceSum(t, parts)
+	bd.add(PhaseReduce, sw.elapsed())
+	bd.addTotal(totalW.elapsed())
+	return mBufs[0]
+}
+
+func oneStepInternal(x *tensor.Dense, u []mat.View, n int, opts Options) mat.View {
+	c := rank(u)
+	in := x.Dim(n)
+	il := x.SizeLeft(n)
+	nblk := x.NumModeBlocks(n)
+	bd := opts.Breakdown
+	t := parallel.Clamp(opts.Threads, nblk)
+
+	leftOps := leftOperands(u, n)
+	rightOps := rightOperands(u, n)
+
+	kl := mat.NewDense(il, c)
+	kBufs := make([]mat.View, t)
+	mBufs := make([]mat.View, t)
+	rowBufs := make([][]float64, t)
+	parts := make([][]float64, t)
+	for w := 0; w < t; w++ {
+		kBufs[w] = mat.NewDense(il, c)
+		mBufs[w] = mat.NewDense(in, c)
+		rowBufs[w] = make([]float64, c)
+		parts[w] = mBufs[w].Data
+	}
+
+	totalW := startWatch()
+	// Left KRP, computed once in parallel (Algorithm 3, line 11).
+	sw := startWatch()
+	krp.Parallel(t, leftOps, kl)
+	bd.add(PhaseLRKRP, sw.elapsed())
+
+	baseKRP := bd.Get(PhaseLRKRP)
+	baseGEMM := bd.Get(PhaseGEMM)
+	worker := func(w, lo, hi int) {
+		var dKRP, dGEMM time.Duration
+		for j := lo; j < hi; j++ {
+			sw := startWatch()
+			// K_R(j, :) then the block's KRP rows K_t = K_R(j,:) ⊙ K_L.
+			krp.RowAt(rightOps, j, rowBufs[w])
+			krp.HadamardExpand(rowBufs[w], kl, kBufs[w])
+			dKRP += sw.elapsed()
+
+			sw = startWatch()
+			blas.Gemm(1, 1, x.ModeBlock(n, j), kBufs[w], 1, mBufs[w])
+			dGEMM += sw.elapsed()
+		}
+		bd.addMax(PhaseLRKRP, baseKRP, dKRP)
+		bd.addMax(PhaseGEMM, baseGEMM, dGEMM)
+	}
+	if opts.DynamicGrain > 0 {
+		parallel.ForDynamic(t, nblk, opts.DynamicGrain, worker)
+	} else {
+		parallel.For(t, nblk, worker)
+	}
+
+	sw = startWatch()
+	parallel.ReduceSum(t, parts)
+	bd.add(PhaseReduce, sw.elapsed())
+	bd.addTotal(totalW.elapsed())
+	return mBufs[0]
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"repro/internal/blas"
+	"repro/internal/krp"
+	"repro/internal/mat"
+	"repro/internal/parallel"
+	"repro/internal/tensor"
+)
+
+// TwoStep is Algorithm 4, the 2-step MTTKRP of Phan et al.: a partial
+// MTTKRP (one large GEMM between a column-major generalized matricization
+// and a partial KRP) followed by a multi-TTV (C independent GEMVs on
+// strided subtensor views). The step order — contract left modes first or
+// right modes first — is chosen to minimize the flops of the second step,
+// exactly as in the paper: left-first when I^L_n > I^R_n.
+//
+// For external modes the 2-step algorithm degenerates to the 1-step
+// algorithm (the partial MTTKRP already is the full MTTKRP), so this
+// function delegates to OneStep, mirroring the paper's benchmarks, which
+// only report 2-step results for internal modes.
+//
+// Parallelism lives in the BLAS calls (the GEMM splits rows across
+// workers) and across the C columns of the multi-TTV.
+func TwoStep(x *tensor.Dense, u []mat.View, n int, opts Options) mat.View {
+	validate(x, u, n)
+	if isExternal(x, n) {
+		return OneStep(x, u, n, opts)
+	}
+	if x.SizeLeft(n) > x.SizeRight(n) {
+		return twoStepLeftFirst(x, u, n, opts)
+	}
+	return twoStepRightFirst(x, u, n, opts)
+}
+
+// TwoStepLeftFirst forces the left-first ordering regardless of the
+// selection rule (internal modes only; exported for the ordering ablation
+// benchmark).
+func TwoStepLeftFirst(x *tensor.Dense, u []mat.View, n int, opts Options) mat.View {
+	validate(x, u, n)
+	if isExternal(x, n) {
+		panic("core: TwoStepLeftFirst requires an internal mode")
+	}
+	return twoStepLeftFirst(x, u, n, opts)
+}
+
+// TwoStepRightFirst forces the right-first ordering regardless of the
+// selection rule (internal modes only; exported for the ordering ablation
+// benchmark).
+func TwoStepRightFirst(x *tensor.Dense, u []mat.View, n int, opts Options) mat.View {
+	validate(x, u, n)
+	if isExternal(x, n) {
+		panic("core: TwoStepRightFirst requires an internal mode")
+	}
+	return twoStepRightFirst(x, u, n, opts)
+}
+
+// twoStepRightFirst computes R_(0:n) = X_(0:n)·K_R, then
+// M(:, j) = R_(n)[j]·K_L(:, j) for each column j (Figures 3a and 3b).
+func twoStepRightFirst(x *tensor.Dense, u []mat.View, n int, opts Options) mat.View {
+	c := rank(u)
+	in := x.Dim(n)
+	il := x.SizeLeft(n)
+	ir := x.SizeRight(n)
+	t := parallel.Clamp(opts.Threads, 0)
+	bd := opts.Breakdown
+
+	kl := mat.NewDense(il, c)
+	kr := mat.NewDense(ir, c)
+	// R is the (I₀⋯I_n) × C intermediate, column-major so that column j is
+	// the j-th subtensor of the order-(n+2) tensor R in natural layout.
+	r := mat.NewColMajor(il*in, c)
+	m := mat.NewDense(in, c)
+
+	totalW := startWatch()
+	sw := startWatch()
+	krp.Parallel(t, leftOperands(u, n), kl)
+	krp.Parallel(t, rightOperands(u, n), kr)
+	bd.add(PhaseLRKRP, sw.elapsed())
+
+	// Step 1: partial MTTKRP — a single (logical) BLAS call on the
+	// column-major generalized matricization.
+	sw = startWatch()
+	blas.Gemm(t, 1, x.MatricizeRowModes(n), kr, 0, r)
+	bd.add(PhaseGEMM, sw.elapsed())
+
+	// Step 2: multi-TTV. R_(n)[j] is the row-major I_n × I^L_n
+	// matricization of subtensor j; columns are independent.
+	sw = startWatch()
+	parallel.For(t, c, func(_, lo, hi int) {
+		for j := lo; j < hi; j++ {
+			sub := r.Data[j*il*in : (j+1)*il*in]
+			rj := mat.FromRowMajor(sub, in, il)
+			blas.Gemv(1, 1, rj, kl.Col(j), 0, m.Col(j))
+		}
+	})
+	bd.add(PhaseGEMV, sw.elapsed())
+	bd.addTotal(totalW.elapsed())
+	return m
+}
+
+// twoStepLeftFirst computes L_(0:N-n-1) = X_(0:n-1)ᵀ·K_L, then
+// M(:, j) = L_(0)[j]·K_R(:, j) for each column j (Figures 3c and 3d).
+func twoStepLeftFirst(x *tensor.Dense, u []mat.View, n int, opts Options) mat.View {
+	c := rank(u)
+	in := x.Dim(n)
+	il := x.SizeLeft(n)
+	ir := x.SizeRight(n)
+	t := parallel.Clamp(opts.Threads, 0)
+	bd := opts.Breakdown
+
+	kl := mat.NewDense(il, c)
+	kr := mat.NewDense(ir, c)
+	// L is (I_n⋯I_{N-1}) × C, column-major: column j is subtensor j of the
+	// order-(N-n+1) tensor L in natural layout.
+	l := mat.NewColMajor(in*ir, c)
+	m := mat.NewDense(in, c)
+
+	totalW := startWatch()
+	sw := startWatch()
+	krp.Parallel(t, leftOperands(u, n), kl)
+	krp.Parallel(t, rightOperands(u, n), kr)
+	bd.add(PhaseLRKRP, sw.elapsed())
+
+	// Step 1: X_(0:n-1) is column-major I^L_n × (I_n⋯I_{N-1}); its
+	// transpose view is row-major, so the GEMM reads contiguous rows.
+	sw = startWatch()
+	blas.Gemm(t, 1, x.MatricizeRowModes(n-1).T(), kl, 0, l)
+	bd.add(PhaseGEMM, sw.elapsed())
+
+	// Step 2: multi-TTV. L_(0)[j] is the column-major I_n × I^R_n
+	// mode-0 matricization of subtensor j.
+	sw = startWatch()
+	parallel.For(t, c, func(_, lo, hi int) {
+		for j := lo; j < hi; j++ {
+			sub := l.Data[j*in*ir : (j+1)*in*ir]
+			lj := mat.FromColMajor(sub, in, ir)
+			blas.Gemv(1, 1, lj, kr.Col(j), 0, m.Col(j))
+		}
+	})
+	bd.add(PhaseGEMV, sw.elapsed())
+	bd.addTotal(totalW.elapsed())
+	return m
+}

@@ -1,0 +1,212 @@
+package cpd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/tensor"
+)
+
+// plantedTensor builds an exactly rank-C tensor from a random KTensor.
+func plantedTensor(rng *rand.Rand, dims []int, c int) (*tensor.Dense, *KTensor) {
+	k := RandomKTensor(rng, dims, c)
+	return k.Full(), k
+}
+
+func TestALSRecoversExactLowRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, tc := range []struct {
+		dims []int
+		rank int
+	}{
+		{[]int{10, 12, 8}, 2},
+		{[]int{8, 6, 7, 5}, 3},
+		{[]int{20, 15}, 2},
+	} {
+		x, _ := plantedTensor(rng, tc.dims, tc.rank)
+		res, err := ALS(x, Config{Rank: tc.rank, MaxIters: 200, Tol: 1e-12, Seed: 7, Threads: 2})
+		if err != nil {
+			t.Fatalf("dims=%v: %v", tc.dims, err)
+		}
+		if res.Fit < 0.9999 {
+			t.Errorf("dims=%v rank=%d: fit %v after %d iters, want ≈1", tc.dims, tc.rank, res.Fit, res.Iters)
+		}
+		// The fitted model must reconstruct the tensor.
+		if !tensor.ApproxEqual(res.K.Full(), x, 1e-2) {
+			t.Errorf("dims=%v: reconstruction error too large", tc.dims)
+		}
+	}
+}
+
+func TestALSFitMatchesExplicitResidual(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := tensor.Random(rng, 6, 7, 5)
+	res, err := ALS(x, Config{Rank: 3, MaxIters: 10, Tol: -1, Seed: 3, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Explicit: fit = 1 − ‖X − Y‖/‖X‖.
+	y := res.K.Full()
+	diff := x.Clone()
+	diff.AddScaled(-1, y)
+	want := 1 - diff.Norm(1)/x.Norm(1)
+	if math.Abs(res.Fit-want) > 1e-8 {
+		t.Errorf("cached fit %v, explicit fit %v", res.Fit, want)
+	}
+}
+
+func TestALSFitMonotoneOnNoiselessData(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x, _ := plantedTensor(rng, []int{9, 8, 7}, 2)
+	res, err := ALS(x, Config{Rank: 2, MaxIters: 40, Tol: -1, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.FitHistory); i++ {
+		if res.FitHistory[i] < res.FitHistory[i-1]-1e-9 {
+			t.Errorf("fit decreased at sweep %d: %v -> %v", i, res.FitHistory[i-1], res.FitHistory[i])
+		}
+	}
+}
+
+func TestALSAllMethodsConvergeToSameFit(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := tensor.Random(rng, 8, 9, 7)
+	fits := make(map[core.Method]float64)
+	for _, m := range []core.Method{core.MethodAuto, core.MethodOneStep, core.MethodTwoStep, core.MethodReorder} {
+		res, err := ALS(x, Config{Rank: 4, MaxIters: 15, Tol: -1, Seed: 5, Method: m, Threads: 2})
+		if err != nil {
+			t.Fatalf("method %v: %v", m, err)
+		}
+		fits[m] = res.Fit
+	}
+	for m, f := range fits {
+		if math.Abs(f-fits[core.MethodAuto]) > 1e-8 {
+			t.Errorf("method %v fit %v differs from auto %v", m, f, fits[core.MethodAuto])
+		}
+	}
+}
+
+func TestALSDeterministicPerSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x := tensor.Random(rng, 6, 6, 6)
+	a, _ := ALS(x, Config{Rank: 2, MaxIters: 8, Tol: -1, Seed: 42})
+	b, _ := ALS(x, Config{Rank: 2, MaxIters: 8, Tol: -1, Seed: 42})
+	if a.Fit != b.Fit {
+		t.Error("same seed gave different results")
+	}
+	c, _ := ALS(x, Config{Rank: 2, MaxIters: 8, Tol: -1, Seed: 43})
+	if a.Fit == c.Fit {
+		t.Error("different seeds gave identical fit (suspicious)")
+	}
+}
+
+func TestALSWithProvidedInit(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	x, planted := plantedTensor(rng, []int{8, 7, 6}, 2)
+	// Start at the planted solution: one sweep should keep fit ≈ 1.
+	res, err := ALS(x, Config{Rank: 2, MaxIters: 2, Tol: -1, Init: planted})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fit < 0.999999 {
+		t.Errorf("fit from planted init = %v", res.Fit)
+	}
+	// Init must not be mutated.
+	if planted.Lambda[0] != 1 {
+		t.Error("ALS mutated the provided init")
+	}
+}
+
+func TestALSErrorCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x := tensor.Random(rng, 4, 4)
+	if _, err := ALS(x, Config{Rank: 0}); err == nil {
+		t.Error("rank 0 should fail")
+	}
+	if _, err := ALS(tensor.New(5), Config{Rank: 2}); err == nil {
+		t.Error("order-1 tensor should fail")
+	}
+	badInit := RandomKTensor(rng, []int{4, 4}, 3)
+	if _, err := ALS(x, Config{Rank: 2, Init: badInit}); err == nil {
+		t.Error("rank-mismatched init should fail")
+	}
+	badInit2 := RandomKTensor(rng, []int{4, 4, 4}, 2)
+	if _, err := ALS(x, Config{Rank: 2, Init: badInit2}); err == nil {
+		t.Error("order-mismatched init should fail")
+	}
+}
+
+func TestALSEarlyStopOnTol(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	x, _ := plantedTensor(rng, []int{10, 9, 8}, 1)
+	res, err := ALS(x, Config{Rank: 1, MaxIters: 500, Tol: 1e-6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iters >= 500 {
+		t.Errorf("no early stop: ran %d iters", res.Iters)
+	}
+	if len(res.IterTimes) != res.Iters || len(res.FitHistory) != res.Iters {
+		t.Error("history lengths inconsistent with Iters")
+	}
+	if res.MeanIterTime() <= 0 {
+		t.Error("mean iteration time not recorded")
+	}
+}
+
+func TestReferenceALSMatchesRegularReorder(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	x := tensor.Random(rng, 7, 6, 5)
+	a, err := ReferenceALS(x, Config{Rank: 3, MaxIters: 6, Tol: -1, Seed: 2, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ALS(x, Config{Rank: 3, MaxIters: 6, Tol: -1, Seed: 2, Method: core.MethodReorder, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Fit-b.Fit) > 1e-10 {
+		t.Errorf("reference ALS fit %v != reorder ALS fit %v", a.Fit, b.Fit)
+	}
+}
+
+func TestALSBreakdownAccumulates(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	x := tensor.Random(rng, 8, 8, 8)
+	var bd core.Breakdown
+	_, err := ALS(x, Config{Rank: 3, MaxIters: 3, Tol: -1, Threads: 2, Breakdown: &bd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd.Total() <= 0 || bd.Get(core.PhaseGEMM) <= 0 {
+		t.Errorf("breakdown not accumulated: %v", &bd)
+	}
+}
+
+func TestALSZeroTensor(t *testing.T) {
+	x := tensor.New(4, 4, 4) // all zeros
+	res, err := ALS(x, Config{Rank: 2, MaxIters: 3, Tol: -1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(res.Fit) {
+		t.Error("fit is NaN on zero tensor")
+	}
+}
+
+func TestALSRankExceedingDimensions(t *testing.T) {
+	// Rank larger than every dimension: Grams are singular, exercising the
+	// pseudo-inverse fallback path every sweep.
+	rng := rand.New(rand.NewSource(11))
+	x := tensor.Random(rng, 3, 4, 3)
+	res, err := ALS(x, Config{Rank: 6, MaxIters: 8, Tol: -1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(res.Fit) || res.Fit < 0.5 {
+		t.Errorf("overcomplete fit = %v", res.Fit)
+	}
+}

@@ -1,0 +1,54 @@
+package cpd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestMultiSweepMatchesRegularALS(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, dims := range [][]int{{8, 9, 7}, {6, 5, 4, 5}, {12, 11}} {
+		x := tensor.Random(rng, dims...)
+		reg, err := ALS(x, Config{Rank: 3, MaxIters: 5, Tol: -1, Seed: 4, Threads: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms, err := ALS(x, Config{Rank: 3, MaxIters: 5, Tol: -1, Seed: 4, Threads: 2, MultiSweep: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range reg.FitHistory {
+			if math.Abs(reg.FitHistory[i]-ms.FitHistory[i]) > 1e-6 {
+				t.Errorf("dims=%v sweep %d: fit %v (regular) vs %v (multisweep)",
+					dims, i, reg.FitHistory[i], ms.FitHistory[i])
+			}
+		}
+	}
+}
+
+func TestMultiSweepRecoversExactLowRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x, _ := plantedTensor(rng, []int{10, 9, 8, 7}, 2)
+	res, err := ALS(x, Config{Rank: 2, MaxIters: 200, Tol: 1e-12, Seed: 6, MultiSweep: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fit < 0.9999 {
+		t.Errorf("multisweep fit = %v after %d iters", res.Fit, res.Iters)
+	}
+}
+
+func TestMultiSweepBreakdown(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := tensor.Random(rng, 8, 8, 8)
+	res, err := ALS(x, Config{Rank: 3, MaxIters: 3, Tol: -1, MultiSweep: true, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IterTimes) != 3 {
+		t.Errorf("iter times = %d", len(res.IterTimes))
+	}
+}

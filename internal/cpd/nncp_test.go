@@ -1,0 +1,119 @@
+package cpd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestNNALSFactorsStayNonnegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.Random(rng, 8, 7, 6) // uniform entries: nonnegative
+	res, err := NNALS(x, Config{Rank: 3, MaxIters: 20, Tol: -1, Seed: 2, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, u := range res.K.Factors {
+		for i := 0; i < u.R; i++ {
+			for j := 0; j < u.C; j++ {
+				if u.At(i, j) < 0 {
+					t.Fatalf("factor %d has negative entry %v at (%d,%d)", k, u.At(i, j), i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestNNALSRecoversNonnegativeLowRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// Planted nonnegative model (RandomKTensor draws uniform [0,1)).
+	planted := RandomKTensor(rng, []int{12, 10, 8}, 2)
+	x := planted.Full()
+	res, err := NNALS(x, Config{Rank: 2, MaxIters: 300, Tol: 1e-12, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fit < 0.999 {
+		t.Errorf("fit = %v after %d sweeps on exact nonnegative data", res.Fit, res.Iters)
+	}
+}
+
+func TestNNALSFitImproves(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := tensor.Random(rng, 9, 8, 7)
+	res, err := NNALS(x, Config{Rank: 4, MaxIters: 15, Tol: -1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := res.FitHistory[0], res.Fit
+	if last < first-1e-9 {
+		t.Errorf("fit regressed from %v to %v", first, last)
+	}
+	// HALS should mostly improve monotonically on this easy problem.
+	drops := 0
+	for i := 1; i < len(res.FitHistory); i++ {
+		if res.FitHistory[i] < res.FitHistory[i-1]-1e-7 {
+			drops++
+		}
+	}
+	if drops > 2 {
+		t.Errorf("fit dropped %d times: %v", drops, res.FitHistory)
+	}
+}
+
+func TestNNALSRejectsNegativeTensor(t *testing.T) {
+	x := tensor.New(3, 3)
+	x.Set(-1, 1, 1)
+	if _, err := NNALS(x, Config{Rank: 2}); err == nil {
+		t.Error("expected rejection of negative tensor")
+	}
+}
+
+func TestNNALSConfigErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := tensor.Random(rng, 4, 4)
+	if _, err := NNALS(x, Config{Rank: 0}); err == nil {
+		t.Error("rank 0 should fail")
+	}
+	if _, err := NNALS(tensor.New(3), Config{Rank: 1}); err == nil {
+		t.Error("order-1 should fail")
+	}
+	bad := RandomKTensor(rng, []int{4, 4}, 3)
+	if _, err := NNALS(x, Config{Rank: 2, Init: bad}); err == nil {
+		t.Error("mismatched init should fail")
+	}
+}
+
+func TestNNALSInitProjectsNegatives(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x := tensor.Random(rng, 5, 4, 3)
+	init := RandomKTensor(rng, []int{5, 4, 3}, 2)
+	init.Factors[0].Set(0, 0, -5) // negative entry must be projected away
+	res, err := NNALS(x, Config{Rank: 2, MaxIters: 2, Tol: -1, Init: init})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K.Factors[0].At(0, 0) < 0 {
+		t.Error("negative init entry survived")
+	}
+	if init.Factors[0].At(0, 0) != -5 {
+		t.Error("caller's init was mutated")
+	}
+}
+
+func TestNNALSFitMatchesExplicit(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	x := tensor.Random(rng, 6, 5, 4)
+	res, err := NNALS(x, Config{Rank: 2, MaxIters: 8, Tol: -1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := x.Clone()
+	diff.AddScaled(-1, res.K.Full())
+	want := 1 - diff.Norm(1)/x.Norm(1)
+	if math.Abs(res.Fit-want) > 1e-8 {
+		t.Errorf("cached fit %v vs explicit %v", res.Fit, want)
+	}
+}

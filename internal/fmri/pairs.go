@@ -1,0 +1,80 @@
+package fmri
+
+import (
+	"fmt"
+
+	"repro/internal/cpd"
+	"repro/internal/mat"
+	"repro/internal/tensor"
+)
+
+// PairCount returns the number of unordered region pairs i < j, the third
+// dimension of the linearized tensor: R(R-1)/2 (19900 for R = 200, as in
+// the paper).
+func PairCount(r int) int { return r * (r - 1) / 2 }
+
+// PairIndex maps a region pair (i, j) with i < j to its linear index,
+// ordering pairs by increasing j then i: p = j(j-1)/2 + i.
+func PairIndex(i, j int) int {
+	if i >= j || i < 0 {
+		panic(fmt.Sprintf("fmri: pair (%d, %d) requires 0 ≤ i < j", i, j))
+	}
+	return j*(j-1)/2 + i
+}
+
+// PairFromIndex inverts PairIndex.
+func PairFromIndex(p int) (i, j int) {
+	if p < 0 {
+		panic("fmri: negative pair index")
+	}
+	// j is the largest integer with j(j-1)/2 ≤ p.
+	j = 1
+	for (j+1)*j/2 <= p {
+		j++
+	}
+	i = p - j*(j-1)/2
+	return i, j
+}
+
+// Linearize3 produces the symmetry-reduced 3-way tensor
+// X3(t, s, p) = X4(t, s, i, j) for pairs i < j — the paper's
+// 225 × 59 × 19900 form. The diagonal (self-correlation) entries are
+// dropped, and each off-diagonal value appears once, halving storage.
+func (d *Dataset) Linearize3() *tensor.Dense {
+	x4 := d.Tensor4
+	tDim, sDim, rDim := x4.Dim(0), x4.Dim(1), x4.Dim(2)
+	np := PairCount(rDim)
+	x3 := tensor.New(tDim, sDim, np)
+	src := x4.Data()
+	dst := x3.Data()
+	slab := tDim * sDim // contiguous (t, s) block for one (i, j)
+	for j := 1; j < rDim; j++ {
+		for i := 0; i < j; i++ {
+			p := PairIndex(i, j)
+			copy(dst[p*slab:(p+1)*slab], src[(j*rDim+i)*slab:(j*rDim+i+1)*slab])
+		}
+	}
+	return x3
+}
+
+// Truth3 returns the planted components in 3-way form: the pairs-mode
+// factor is V(p, c) = R(i, c)·R(j, c), so the noiseless 3-way tensor is
+// exactly rank-Components too.
+func (d *Dataset) Truth3() *cpd.KTensor {
+	rf := d.Truth.Factors[2]
+	rDim := rf.R
+	nc := d.Truth.Rank()
+	v := mat.NewDense(PairCount(rDim), nc)
+	for j := 1; j < rDim; j++ {
+		for i := 0; i < j; i++ {
+			p := PairIndex(i, j)
+			for c := 0; c < nc; c++ {
+				v.Set(p, c, rf.At(i, c)*rf.At(j, c))
+			}
+		}
+	}
+	return cpd.NewKTensor(
+		append([]float64(nil), d.Truth.Lambda...),
+		[]mat.View{d.Truth.Factors[0].Clone(), d.Truth.Factors[1].Clone(), v},
+	)
+}

@@ -1,0 +1,93 @@
+package la
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+)
+
+// QR computes a thin Householder QR factorization A = Q·R of an m×n matrix
+// with m ≥ n: Q is m×n with orthonormal columns and R is n×n upper
+// triangular. The input is not modified.
+func QR(a mat.View) (q, r mat.View) {
+	m, n := a.R, a.C
+	if m < n {
+		panic(fmt.Sprintf("la: thin QR needs m ≥ n, got %dx%d", m, n))
+	}
+	// Work on a row-major copy; vs[k] stores the k-th Householder vector.
+	w := a.Clone()
+	vs := make([][]float64, n)
+	for k := 0; k < n; k++ {
+		// Build the Householder vector for column k below the diagonal.
+		v := make([]float64, m-k)
+		norm := 0.0
+		for i := k; i < m; i++ {
+			v[i-k] = w.At(i, k)
+			norm += v[i-k] * v[i-k]
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			// Degenerate column: use e1 so Q still gets a valid direction.
+			v[0] = 1
+			vs[k] = v
+			continue
+		}
+		if v[0] >= 0 {
+			v[0] += norm
+		} else {
+			v[0] -= norm
+		}
+		vnorm := 0.0
+		for _, x := range v {
+			vnorm += x * x
+		}
+		vnorm = math.Sqrt(vnorm)
+		for i := range v {
+			v[i] /= vnorm
+		}
+		vs[k] = v
+		// Apply H = I − 2vvᵀ to the trailing submatrix.
+		for j := k; j < n; j++ {
+			dot := 0.0
+			for i := k; i < m; i++ {
+				dot += v[i-k] * w.At(i, j)
+			}
+			for i := k; i < m; i++ {
+				w.Add(i, j, -2*dot*v[i-k])
+			}
+		}
+	}
+	r = mat.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			r.Set(i, j, w.At(i, j))
+		}
+	}
+	// Accumulate Q = H₀·H₁⋯H_{n-1}·[I; 0] by applying the reflectors in
+	// reverse to the thin identity.
+	q = mat.NewDense(m, n)
+	for j := 0; j < n; j++ {
+		q.Set(j, j, 1)
+	}
+	for k := n - 1; k >= 0; k-- {
+		v := vs[k]
+		for j := 0; j < n; j++ {
+			dot := 0.0
+			for i := k; i < m; i++ {
+				dot += v[i-k] * q.At(i, j)
+			}
+			for i := k; i < m; i++ {
+				q.Add(i, j, -2*dot*v[i-k])
+			}
+		}
+	}
+	return q, r
+}
+
+// Orthonormalize returns an m×n matrix with orthonormal columns spanning
+// the column space of a (the Q factor of its QR decomposition).
+func Orthonormalize(a mat.View) mat.View {
+	q, _ := QR(a)
+	return q
+}

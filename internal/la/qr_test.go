@@ -1,0 +1,150 @@
+package la
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/blas"
+	"repro/internal/mat"
+)
+
+func TestQRReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, sh := range [][2]int{{1, 1}, {3, 3}, {5, 3}, {10, 7}, {20, 1}} {
+		a := mat.RandomDense(sh[0], sh[1], rng)
+		q, r := QR(a)
+		qr := SymMatMul(q, r)
+		if !mat.ApproxEqual(a, qr, 1e-12) {
+			t.Errorf("%dx%d: QR != A, maxdiff %g", sh[0], sh[1], mat.MaxAbsDiff(a, qr))
+		}
+	}
+}
+
+func TestQROrthonormalColumns(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := mat.RandomDense(12, 5, rng)
+	q, _ := QR(a)
+	for i := 0; i < 5; i++ {
+		for j := 0; j <= i; j++ {
+			dot := blas.Dot(q.Col(i), q.Col(j))
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(dot-want) > 1e-12 {
+				t.Fatalf("QᵀQ(%d,%d) = %v", i, j, dot)
+			}
+		}
+	}
+}
+
+func TestQRUpperTriangular(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	_, r := QR(mat.RandomDense(8, 4, rng))
+	for i := 0; i < 4; i++ {
+		for j := 0; j < i; j++ {
+			if r.At(i, j) != 0 {
+				t.Fatalf("R(%d,%d) = %v below diagonal", i, j, r.At(i, j))
+			}
+		}
+	}
+}
+
+func TestQRInputNotModified(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := mat.RandomDense(6, 3, rng)
+	before := a.Clone()
+	QR(a)
+	if mat.MaxAbsDiff(a, before) != 0 {
+		t.Error("QR modified its input")
+	}
+}
+
+func TestQRRankDeficient(t *testing.T) {
+	// Second column is a multiple of the first; Q must still be
+	// orthonormal and QR must still reconstruct A.
+	a := mat.NewDense(5, 2)
+	for i := 0; i < 5; i++ {
+		a.Set(i, 0, float64(i+1))
+		a.Set(i, 1, 2*float64(i+1))
+	}
+	q, r := QR(a)
+	if !mat.ApproxEqual(a, SymMatMul(q, r), 1e-12) {
+		t.Error("rank-deficient QR does not reconstruct")
+	}
+	for i := 0; i < 2; i++ {
+		if d := math.Abs(blas.Nrm2(q.Col(i)) - 1); d > 1e-12 {
+			t.Errorf("column %d not unit", i)
+		}
+	}
+}
+
+func TestQRZeroMatrix(t *testing.T) {
+	q, r := QR(mat.NewDense(4, 2))
+	for i := 0; i < 2; i++ {
+		if d := math.Abs(blas.Nrm2(q.Col(i)) - 1); d > 1e-12 {
+			t.Errorf("zero-matrix Q column %d not unit", i)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if r.At(i, j) != 0 {
+				t.Error("zero matrix should give zero R")
+			}
+		}
+	}
+}
+
+func TestQRWidePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for m < n")
+		}
+	}()
+	QR(mat.NewDense(2, 5))
+}
+
+func TestOrthonormalize(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := mat.RandomDense(9, 4, rng)
+	q := Orthonormalize(a)
+	// Same column space: projecting A onto Q must reproduce A.
+	qta := SymMatMul(q.T(), a)
+	back := SymMatMul(q, qta)
+	if !mat.ApproxEqual(a, back, 1e-10) {
+		t.Errorf("orthonormalize changed the span: %g", mat.MaxAbsDiff(a, back))
+	}
+}
+
+// Property: for random well-conditioned matrices, ‖A − QR‖ stays tiny and
+// Q is orthonormal.
+func TestQRQuick(t *testing.T) {
+	f := func(seed int64, m8, n8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(n8%6) + 1
+		m := n + int(m8%8)
+		a := mat.RandomDense(m, n, rng)
+		q, r := QR(a)
+		if !mat.ApproxEqual(a, SymMatMul(q, r), 1e-11) {
+			return false
+		}
+		qtq := SymMatMul(q.T(), q)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if math.Abs(qtq.At(i, j)-want) > 1e-11 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,191 @@
+// Package parallel provides the shared-memory execution primitives used by
+// the MTTKRP kernels: contiguous static partitioning of index ranges across
+// a fixed number of workers, per-worker private buffers, and parallel
+// reductions. It mirrors the OpenMP "parallel for" + private accumulator +
+// reduction structure of the paper's Algorithm 3 using goroutines.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// DefaultThreads returns the default worker count, the number of CPUs the
+// runtime will schedule on (GOMAXPROCS).
+func DefaultThreads() int {
+	return runtime.GOMAXPROCS(0)
+}
+
+// Clamp bounds t to [1, n] when n > 0; a non-positive t selects
+// DefaultThreads. It never returns more workers than items so that every
+// worker owns a non-empty contiguous range.
+func Clamp(t, n int) int {
+	if t <= 0 {
+		t = DefaultThreads()
+	}
+	if n > 0 && t > n {
+		t = n
+	}
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// Range describes a contiguous half-open index interval [Lo, Hi).
+type Range struct {
+	Lo, Hi int
+}
+
+// Len returns the number of indices in the range.
+func (r Range) Len() int { return r.Hi - r.Lo }
+
+// Split partitions [0, n) into t contiguous ranges whose sizes differ by at
+// most one, matching the static block schedule used throughout the paper.
+// It always returns exactly t ranges; trailing ranges may be empty when
+// t > n.
+func Split(n, t int) []Range {
+	if t < 1 {
+		t = 1
+	}
+	ranges := make([]Range, t)
+	base := n / t
+	rem := n % t
+	lo := 0
+	for i := range ranges {
+		size := base
+		if i < rem {
+			size++
+		}
+		ranges[i] = Range{Lo: lo, Hi: lo + size}
+		lo += size
+	}
+	return ranges
+}
+
+// For executes body over [0, n) using t workers, giving each worker a
+// contiguous block. body receives the worker index (0 ≤ worker < t) and its
+// half-open range. It blocks until all workers finish. With t == 1 the body
+// runs on the calling goroutine, so sequential code paths pay no scheduling
+// cost.
+func For(t, n int, body func(worker, lo, hi int)) {
+	t = Clamp(t, n)
+	if n <= 0 {
+		return
+	}
+	if t == 1 {
+		body(0, 0, n)
+		return
+	}
+	ranges := Split(n, t)
+	var wg sync.WaitGroup
+	for w := 1; w < t; w++ {
+		r := ranges[w]
+		if r.Len() == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(w int, r Range) {
+			defer wg.Done()
+			body(w, r.Lo, r.Hi)
+		}(w, r)
+	}
+	if ranges[0].Len() > 0 {
+		body(0, ranges[0].Lo, ranges[0].Hi)
+	}
+	wg.Wait()
+}
+
+// ForDynamic executes body over [0, n) with t workers pulling indices in
+// chunks of the given size from a shared counter. It is used where block
+// work is irregular (for example internal-mode 1-step MTTKRP when I^R_n is
+// barely larger than the worker count).
+func ForDynamic(t, n, chunk int, body func(worker, lo, hi int)) {
+	t = Clamp(t, n)
+	if n <= 0 {
+		return
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	if t == 1 {
+		body(0, 0, n)
+		return
+	}
+	var mu sync.Mutex
+	next := 0
+	take := func() (int, int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= n {
+			return 0, 0, false
+		}
+		lo := next
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		next = hi
+		return lo, hi, true
+	}
+	var wg sync.WaitGroup
+	wg.Add(t)
+	for w := 0; w < t; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for {
+				lo, hi, ok := take()
+				if !ok {
+					return
+				}
+				body(w, lo, hi)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Run launches t copies of body concurrently, one per worker, and waits.
+// It is the "parallel region" primitive: each worker decides its own work
+// from its index.
+func Run(t int, body func(worker int)) {
+	if t <= 0 {
+		t = DefaultThreads()
+	}
+	if t == 1 {
+		body(0)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 1; w < t; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			body(w)
+		}(w)
+	}
+	body(0)
+	wg.Wait()
+}
+
+// ReduceSum accumulates the per-worker buffers parts[1:] into parts[0] and
+// returns parts[0]. The element-range of the reduction is itself
+// parallelized over t workers, mirroring the parallel reduction at the end
+// of Algorithm 3. All buffers must have equal length.
+func ReduceSum(t int, parts [][]float64) []float64 {
+	if len(parts) == 0 {
+		return nil
+	}
+	dst := parts[0]
+	if len(parts) == 1 {
+		return dst
+	}
+	For(t, len(dst), func(_, lo, hi int) {
+		for _, p := range parts[1:] {
+			for i := lo; i < hi; i++ {
+				dst[i] += p[i]
+			}
+		}
+	})
+	return dst
+}

@@ -1,0 +1,42 @@
+package stream
+
+import "testing"
+
+func TestRunAndVerify(t *testing.T) {
+	for _, threads := range []int{1, 2, 4} {
+		s := New(10000)
+		d := s.Run(threads)
+		if d <= 0 {
+			t.Errorf("threads=%d: non-positive duration", threads)
+		}
+		if err := s.Verify(); err != nil {
+			t.Errorf("threads=%d: %v", threads, err)
+		}
+	}
+}
+
+func TestVerifyDetectsCorruption(t *testing.T) {
+	s := New(100)
+	s.Run(1)
+	s.b[50] += 1
+	if err := s.Verify(); err == nil {
+		t.Error("expected verification failure")
+	}
+}
+
+func TestBytesAndBandwidth(t *testing.T) {
+	s := New(1000)
+	if s.Len() != 1000 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if s.Bytes() != 16000 {
+		t.Errorf("Bytes = %d, want 16000", s.Bytes())
+	}
+	if s.BandwidthGBps(0) != 0 {
+		t.Error("zero duration should give zero bandwidth")
+	}
+	d := s.Run(2)
+	if bw := s.BandwidthGBps(d); bw <= 0 {
+		t.Errorf("bandwidth %v", bw)
+	}
+}

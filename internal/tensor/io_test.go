@@ -1,0 +1,114 @@
+package tensor
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, dims := range [][]int{{4}, {3, 5}, {2, 3, 4}, {1, 1, 7}} {
+		d := Random(rng, dims...)
+		var buf bytes.Buffer
+		n, err := d.WriteTo(&buf)
+		if err != nil {
+			t.Fatalf("dims=%v: write: %v", dims, err)
+		}
+		wantBytes := int64(8*(3+len(dims)) + 8*d.Size())
+		if n != wantBytes {
+			t.Errorf("dims=%v: wrote %d bytes, want %d", dims, n, wantBytes)
+		}
+		back, err := ReadFrom(&buf)
+		if err != nil {
+			t.Fatalf("dims=%v: read: %v", dims, err)
+		}
+		if MaxAbsDiff(d, back) != 0 {
+			t.Errorf("dims=%v: round trip changed data", dims)
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := Random(rng, 3, 4, 2)
+	path := filepath.Join(t.TempDir(), "x.tns")
+	if err := d.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MaxAbsDiff(d, back) != 0 {
+		t.Error("file round trip changed data")
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.tns")); err == nil {
+		t.Error("loading a missing file should fail")
+	}
+}
+
+func TestReadRejectsCorruptHeaders(t *testing.T) {
+	good := func() []byte {
+		d := New(2, 2)
+		var buf bytes.Buffer
+		d.WriteTo(&buf)
+		return buf.Bytes()
+	}()
+
+	corrupt := func(name string, mutate func(b []byte) []byte, wantErr string) {
+		b := append([]byte(nil), good...)
+		b = mutate(b)
+		_, err := ReadFrom(bytes.NewReader(b))
+		if err == nil {
+			t.Errorf("%s: expected error", name)
+			return
+		}
+		if wantErr != "" && !strings.Contains(err.Error(), wantErr) {
+			t.Errorf("%s: error %q does not mention %q", name, err, wantErr)
+		}
+	}
+
+	corrupt("bad magic", func(b []byte) []byte {
+		binary.LittleEndian.PutUint64(b[0:], 0xdeadbeef)
+		return b
+	}, "magic")
+	corrupt("bad version", func(b []byte) []byte {
+		binary.LittleEndian.PutUint64(b[8:], 99)
+		return b
+	}, "version")
+	corrupt("zero order", func(b []byte) []byte {
+		binary.LittleEndian.PutUint64(b[16:], 0)
+		return b
+	}, "order")
+	corrupt("huge order", func(b []byte) []byte {
+		binary.LittleEndian.PutUint64(b[16:], 1000)
+		return b
+	}, "order")
+	corrupt("zero dim", func(b []byte) []byte {
+		binary.LittleEndian.PutUint64(b[24:], 0)
+		return b
+	}, "dimension")
+	corrupt("truncated data", func(b []byte) []byte {
+		return b[:len(b)-8]
+	}, "")
+	corrupt("empty", func(b []byte) []byte {
+		return nil
+	}, "")
+}
+
+func TestReadRejectsOverflowDims(t *testing.T) {
+	var buf bytes.Buffer
+	for _, v := range []uint64{ioMagic, ioVersion, 4} {
+		binary.Write(&buf, binary.LittleEndian, v)
+	}
+	for i := 0; i < 4; i++ {
+		binary.Write(&buf, binary.LittleEndian, uint64(1<<20))
+	}
+	if _, err := ReadFrom(&buf); err == nil {
+		t.Error("expected overflow rejection for 2^80 entries")
+	}
+}

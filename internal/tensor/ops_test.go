@@ -1,0 +1,138 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// ttvRef contracts mode n against v by walking all entries.
+func ttvRef(d *Dense, n int, v []float64) *Dense {
+	outDims := make([]int, 0, d.Order()-1)
+	for k, dim := range d.Dims() {
+		if k != n {
+			outDims = append(outDims, dim)
+		}
+	}
+	if len(outDims) == 0 {
+		outDims = []int{1}
+	}
+	out := New(outDims...)
+	idx := make([]int, d.Order())
+	oidx := make([]int, len(outDims))
+	for l := 0; l < d.Size(); l++ {
+		d.MultiIndex(l, idx)
+		p := 0
+		for k := 0; k < d.Order(); k++ {
+			if k != n {
+				oidx[p] = idx[k]
+				p++
+			}
+		}
+		if d.Order() == 1 {
+			oidx[0] = 0
+		}
+		out.Set(out.At(oidx...)+d.Data()[l]*v[idx[n]], oidx...)
+	}
+	return out
+}
+
+func TestTTVMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, dims := range [][]int{{5}, {3, 4}, {2, 3, 4}, {3, 2, 2, 3}} {
+		d := Random(rng, dims...)
+		for n := 0; n < d.Order(); n++ {
+			v := make([]float64, d.Dim(n))
+			for i := range v {
+				v[i] = rng.NormFloat64()
+			}
+			got := d.TTV(n, v)
+			want := ttvRef(d, n, v)
+			if !ApproxEqual(got, want, 1e-12) {
+				t.Errorf("dims=%v n=%d: ttv mismatch (max diff %g)", dims, n, MaxAbsDiff(got, want))
+			}
+		}
+	}
+}
+
+func TestTTVKnownValue(t *testing.T) {
+	// X = [1 2; 3 4] (col-major: X(0,0)=1, X(1,0)=3, X(0,1)=2, X(1,1)=4).
+	d := New(2, 2)
+	d.Set(1, 0, 0)
+	d.Set(3, 1, 0)
+	d.Set(2, 0, 1)
+	d.Set(4, 1, 1)
+	// Contract mode 0 with [1, 1]: column sums [4, 6].
+	y := d.TTV(0, []float64{1, 1})
+	if y.At(0) != 4 || y.At(1) != 6 {
+		t.Errorf("ttv = %v", y.Data())
+	}
+	// Contract mode 1 with [2, 0]: 2×first column = [2, 6].
+	z := d.TTV(1, []float64{2, 0})
+	if z.At(0) != 2 || z.At(1) != 6 {
+		t.Errorf("ttv mode 1 = %v", z.Data())
+	}
+}
+
+func TestTTVLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(2, 3).TTV(0, []float64{1, 2, 3})
+}
+
+func TestTTVOrder1(t *testing.T) {
+	d := New(3)
+	copy(d.Data(), []float64{1, 2, 3})
+	y := d.TTV(0, []float64{1, 1, 1})
+	if y.Size() != 1 || y.Data()[0] != 6 {
+		t.Errorf("order-1 ttv = %v", y.Data())
+	}
+}
+
+func TestTTMMatchesTTVColumns(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := Random(rng, 3, 4, 2)
+	n := 1
+	c := 3
+	m := make([][]float64, d.Dim(n))
+	for i := range m {
+		m[i] = make([]float64, c)
+		for j := range m[i] {
+			m[i][j] = rng.NormFloat64()
+		}
+	}
+	y := d.TTM(n, m)
+	if y.Dim(n) != c {
+		t.Fatalf("ttm output mode-%d dim = %d, want %d", n, y.Dim(n), c)
+	}
+	// Column j of the TTM equals the TTV with M(:, j).
+	for j := 0; j < c; j++ {
+		col := make([]float64, d.Dim(n))
+		for i := range col {
+			col[i] = m[i][j]
+		}
+		tv := d.TTV(n, col)
+		// Extract slice j of y along mode n and compare.
+		idx := make([]int, 3)
+		oidx := make([]int, 2)
+		for l := 0; l < tv.Size(); l++ {
+			tv.MultiIndex(l, oidx)
+			idx[0], idx[1], idx[2] = oidx[0], j, oidx[1]
+			if math.Abs(y.At(idx...)-tv.Data()[l]) > 1e-12 {
+				t.Fatalf("ttm column %d mismatch at %v", j, oidx)
+			}
+		}
+	}
+}
+
+func TestTTMRowCountMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(2, 3).TTM(0, [][]float64{{1}})
+}

@@ -1,0 +1,171 @@
+// Package repro is a shared-memory parallel library for dense-tensor
+// MTTKRP (matricized-tensor times Khatri-Rao product) and CP decomposition,
+// reproducing Hayashi, Ballard, Jiang & Tobia, "Shared-Memory
+// Parallelization of MTTKRP for Dense Tensors" (PPoPP 2018).
+//
+// The library never reorders tensor entries: tensors are stored once in
+// the natural generalized column-major linearization, and the MTTKRP
+// kernels multiply strided views of that buffer directly.
+//
+// Quick start:
+//
+//	x := repro.RandomTensor(rand.New(rand.NewSource(1)), 60, 50, 40)
+//	res, err := repro.CP(x, repro.CPConfig{Rank: 8})
+//	// res.K.Factors[n] is the I_n × 8 factor of mode n.
+//
+// The low-level kernels are available directly:
+//
+//	m := repro.MTTKRP(x, factors, mode, repro.MTTKRPOptions{Threads: 8})
+//
+// See DESIGN.md for the algorithm inventory and EXPERIMENTS.md for the
+// reproduction of the paper's figures.
+package repro
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/cpd"
+	"repro/internal/krp"
+	"repro/internal/mat"
+	"repro/internal/tensor"
+	"repro/internal/ttm"
+	"repro/internal/tucker"
+)
+
+// Tensor is a dense N-way tensor in natural (generalized column-major)
+// layout. See the methods of tensor.Dense for accessors, matricization
+// views and utilities.
+type Tensor = tensor.Dense
+
+// Matrix is a strided dense matrix view; factor matrices are row-major
+// Matrix values.
+type Matrix = mat.View
+
+// KTensor is a rank-C Kruskal tensor (weights + factor matrices).
+type KTensor = cpd.KTensor
+
+// Method selects an MTTKRP algorithm.
+type Method = core.Method
+
+// MTTKRP algorithm choices.
+const (
+	// MethodAuto uses the paper's hybrid: 1-step for external modes,
+	// 2-step for internal modes (the default).
+	MethodAuto = core.MethodAuto
+	// MethodOneStep is the paper's 1-step algorithm (Algorithm 3).
+	MethodOneStep = core.MethodOneStep
+	// MethodTwoStep is Phan et al.'s 2-step algorithm (Algorithm 4).
+	MethodTwoStep = core.MethodTwoStep
+	// MethodReorder is the explicit-reorder Bader–Kolda baseline.
+	MethodReorder = core.MethodReorder
+)
+
+// MTTKRPOptions configures an MTTKRP call.
+type MTTKRPOptions = core.Options
+
+// Breakdown collects per-phase MTTKRP timings.
+type Breakdown = core.Breakdown
+
+// CPConfig configures a CP-ALS run.
+type CPConfig = cpd.Config
+
+// CPResult reports a CP-ALS run.
+type CPResult = cpd.Result
+
+// NewTensor allocates a zero tensor with the given (positive) dimensions.
+func NewTensor(dims ...int) *Tensor { return tensor.New(dims...) }
+
+// TensorFromData wraps an existing natural-layout buffer without copying.
+func TensorFromData(data []float64, dims ...int) *Tensor {
+	return tensor.FromData(data, dims...)
+}
+
+// RandomTensor returns a tensor with uniform [0, 1) entries.
+func RandomTensor(rng *rand.Rand, dims ...int) *Tensor {
+	return tensor.Random(rng, dims...)
+}
+
+// NewMatrix allocates a rows × cols row-major matrix.
+func NewMatrix(rows, cols int) Matrix { return mat.NewDense(rows, cols) }
+
+// RandomMatrix returns a rows × cols row-major matrix with uniform [0, 1)
+// entries.
+func RandomMatrix(rows, cols int, rng *rand.Rand) Matrix {
+	return mat.RandomDense(rows, cols, rng)
+}
+
+// MTTKRP computes M = X_(n) · (U_{N-1} ⊙ ⋯ ⊙ U_{n+1} ⊙ U_{n-1} ⊙ ⋯ ⊙ U₀)
+// with the method selected in opts (MethodAuto by default), returning the
+// I_n × C row-major result. Factor k must be I_k × C row-major.
+func MTTKRP(x *Tensor, factors []Matrix, n int, opts MTTKRPOptions) Matrix {
+	method := MethodAuto
+	return core.Compute(method, x, factors, n, opts)
+}
+
+// MTTKRPWith computes the MTTKRP with an explicit algorithm choice.
+func MTTKRPWith(method Method, x *Tensor, factors []Matrix, n int, opts MTTKRPOptions) Matrix {
+	return core.Compute(method, x, factors, n, opts)
+}
+
+// KhatriRao computes the Khatri-Rao product of the given matrices
+// (row-major, equal column counts) into a fresh (∏ rows) × C matrix, using
+// the paper's row-wise algorithm with partial-product reuse, parallelized
+// over threads workers.
+func KhatriRao(threads int, mats ...Matrix) Matrix {
+	out := mat.NewDense(krp.NumRows(mats), mats[0].C)
+	krp.Parallel(threads, mats, out)
+	return out
+}
+
+// CP computes a rank-C CP decomposition of x by alternating least squares
+// using the paper's hybrid MTTKRP (unless cfg.Method overrides it). Set
+// cfg.MultiSweep to share partial MTTKRP results across the modes of each
+// sweep (two tensor passes per sweep instead of N, identical results).
+func CP(x *Tensor, cfg CPConfig) (*CPResult, error) {
+	return cpd.ALS(x, cfg)
+}
+
+// TTM computes the tensor-times-matrix product Y = X ×n M (Y_(n) = Mᵀ·X_(n))
+// without reordering tensor entries, using t workers.
+func TTM(t int, x *Tensor, n int, m Matrix) *Tensor {
+	return ttm.Multiply(t, x, n, m)
+}
+
+// Corcondia computes the core consistency diagnostic of a fitted CP model
+// (100 = perfect CP structure; collapses when over-factored).
+func Corcondia(t int, x *Tensor, k *KTensor) float64 {
+	return cpd.Corcondia(t, x, k)
+}
+
+// NVecsInit builds a deterministic CP starting point from the leading
+// eigenvectors of each mode's Gram matrix (Tensor Toolbox 'nvecs').
+func NVecsInit(t int, x *Tensor, rank int, seed int64) *KTensor {
+	return cpd.NVecsInit(t, x, rank, seed)
+}
+
+// LoadTensor reads a tensor saved with (*Tensor).Save.
+func LoadTensor(path string) (*Tensor, error) { return tensor.Load(path) }
+
+// NonnegativeCP computes a nonnegative CP decomposition by HALS (the
+// nonnegative setting of the paper's related work), using the same MTTKRP
+// kernels as CP.
+func NonnegativeCP(x *Tensor, cfg CPConfig) (*CPResult, error) {
+	return cpd.NNALS(x, cfg)
+}
+
+// TuckerModel is a Tucker decomposition (core tensor + orthonormal
+// factors).
+type TuckerModel = tucker.Model
+
+// TuckerConfig configures Tucker/HOOI.
+type TuckerConfig = tucker.Config
+
+// TuckerResult reports a Tucker decomposition run.
+type TuckerResult = tucker.Result
+
+// Tucker computes a Tucker decomposition by HOSVD + HOOI on the same
+// no-reorder TTM substrate the MTTKRP kernels use.
+func Tucker(x *Tensor, cfg TuckerConfig) (*TuckerResult, error) {
+	return tucker.Decompose(x, cfg)
+}

@@ -1,0 +1,154 @@
+package repro_test
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"repro"
+	"repro/internal/mat"
+)
+
+func TestFacadeMTTKRPAgreesAcrossMethods(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := repro.RandomTensor(rng, 6, 5, 4)
+	factors := []repro.Matrix{
+		repro.RandomMatrix(6, 3, rng),
+		repro.RandomMatrix(5, 3, rng),
+		repro.RandomMatrix(4, 3, rng),
+	}
+	for n := 0; n < 3; n++ {
+		auto := repro.MTTKRP(x, factors, n, repro.MTTKRPOptions{Threads: 2})
+		for _, m := range []repro.Method{repro.MethodOneStep, repro.MethodTwoStep, repro.MethodReorder} {
+			got := repro.MTTKRPWith(m, x, factors, n, repro.MTTKRPOptions{Threads: 2})
+			if !mat.ApproxEqual(got, auto, 1e-11) {
+				t.Errorf("mode %d method %v disagrees with auto", n, m)
+			}
+		}
+	}
+}
+
+func TestFacadeKhatriRao(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := repro.RandomMatrix(3, 4, rng)
+	b := repro.RandomMatrix(5, 4, rng)
+	k := repro.KhatriRao(2, a, b)
+	if k.R != 15 || k.C != 4 {
+		t.Fatalf("KRP dims %dx%d", k.R, k.C)
+	}
+	for ra := 0; ra < 3; ra++ {
+		for rb := 0; rb < 5; rb++ {
+			for c := 0; c < 4; c++ {
+				if k.At(rb+ra*5, c) != a.At(ra, c)*b.At(rb, c) {
+					t.Fatal("KRP content wrong")
+				}
+			}
+		}
+	}
+}
+
+func TestFacadeCP(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := repro.RandomTensor(rng, 8, 7, 6)
+	res, err := repro.CP(x, repro.CPConfig{Rank: 3, MaxIters: 10, Seed: 1, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fit <= 0 || res.Iters == 0 {
+		t.Errorf("fit %v after %d iters", res.Fit, res.Iters)
+	}
+	if res.K.Rank() != 3 || res.K.Order() != 3 {
+		t.Error("result shape wrong")
+	}
+}
+
+func TestFacadeTensorConstruction(t *testing.T) {
+	x := repro.NewTensor(2, 3)
+	if x.Size() != 6 {
+		t.Error("NewTensor size")
+	}
+	buf := make([]float64, 6)
+	y := repro.TensorFromData(buf, 2, 3)
+	y.Set(5, 1, 2)
+	if buf[5] != 5 {
+		t.Error("TensorFromData must alias")
+	}
+	m := repro.NewMatrix(2, 2)
+	if m.R != 2 || m.C != 2 {
+		t.Error("NewMatrix dims")
+	}
+}
+
+func TestFacadeExtensions(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := repro.RandomTensor(rng, 8, 7, 6)
+
+	// TTM shrinks the contracted mode.
+	m := repro.RandomMatrix(7, 3, rng)
+	y := repro.TTM(2, x, 1, m)
+	if y.Dim(1) != 3 || y.Dim(0) != 8 || y.Dim(2) != 6 {
+		t.Fatalf("TTM dims %v", y.Dims())
+	}
+
+	// Multi-sweep CP matches regular CP.
+	a, err := repro.CP(x, repro.CPConfig{Rank: 2, MaxIters: 4, Tol: -1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := repro.CP(x, repro.CPConfig{Rank: 2, MaxIters: 4, Tol: -1, Seed: 1, MultiSweep: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := a.Fit - b.Fit; d > 1e-6 || d < -1e-6 {
+		t.Errorf("multisweep fit %v vs %v", b.Fit, a.Fit)
+	}
+
+	// Diagnostics and init run.
+	if cc := repro.Corcondia(2, x, a.K); cc > 100.000001 {
+		t.Errorf("corcondia %v > 100", cc)
+	}
+	init := repro.NVecsInit(2, x, 2, 1)
+	if init.Rank() != 2 || init.Order() != 3 {
+		t.Error("nvecs init shape wrong")
+	}
+
+	// Nonnegative CP keeps factors nonnegative.
+	nn, err := repro.NonnegativeCP(x, repro.CPConfig{Rank: 2, MaxIters: 5, Tol: -1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range nn.K.Factors {
+		for i := 0; i < u.R; i++ {
+			for j := 0; j < u.C; j++ {
+				if u.At(i, j) < 0 {
+					t.Fatal("negative factor entry from NonnegativeCP")
+				}
+			}
+		}
+	}
+
+	// Tucker decomposition and reconstruction.
+	tk, err := repro.Tucker(x, repro.TuckerConfig{Ranks: []int{4, 4, 4}, MaxIters: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tk.Fit <= 0 || tk.Model.Core.Dim(0) != 4 {
+		t.Errorf("tucker fit %v core %v", tk.Fit, tk.Model.Core.Dims())
+	}
+}
+
+func TestFacadeSaveLoad(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x := repro.RandomTensor(rng, 4, 3, 2)
+	path := filepath.Join(t.TempDir(), "t.tns")
+	if err := x.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := repro.LoadTensor(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Size() != x.Size() || back.At(1, 2, 1) != x.At(1, 2, 1) {
+		t.Error("load round trip wrong")
+	}
+}
