@@ -17,6 +17,7 @@ import (
 	"repro/internal/fmri"
 	"repro/internal/krp"
 	"repro/internal/mat"
+	"repro/internal/parallel"
 	"repro/internal/stream"
 	"repro/internal/tensor"
 	"repro/internal/ttm"
@@ -108,6 +109,114 @@ func BenchmarkFig5MTTKRP(b *testing.B) {
 				g.Run(benchThreads, nil)
 			}
 		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// Pool runtime: persistent workers + reusable workspaces vs the
+// spawn-per-call baseline, on the Figure 4/5 shapes.
+// ---------------------------------------------------------------------
+
+// benchPoolThreads is the worker count for the runtime-comparison
+// benchmarks: at least 4, so the dispatch machinery is exercised even on
+// single-core runners (measuring dispatch overhead under oversubscription
+// is still meaningful; the kernels' correctness does not depend on cores).
+var benchPoolThreads = max(benchThreads, 4)
+
+// BenchmarkMTTKRPRuntime compares the persistent pool runtime against
+// spawn-per-call goroutine dispatch for whole MTTKRP calls. The pooled
+// series uses the steady-state entry point (retained dst + pool) and must
+// report 0 allocs/op; the spawn series allocates per region and per call.
+func BenchmarkMTTKRPRuntime(b *testing.B) {
+	const c = 25
+	for _, order := range []int{3, 4, 5} {
+		x, u := fig5Problem(order, c)
+		modes := []int{0, order / 2} // one external, one internal mode
+		for _, n := range modes {
+			for _, rt := range []string{"pooled", "spawn"} {
+				b.Run(fmt.Sprintf("N=%d/n=%d/%s", order, n, rt), func(b *testing.B) {
+					var pool *parallel.Pool
+					if rt == "pooled" {
+						pool = parallel.NewPool(benchPoolThreads)
+						defer pool.Close()
+					} else {
+						pool = parallel.NewSpawnPool()
+					}
+					dst := mat.NewDense(x.Dim(n), c)
+					opts := core.Options{Threads: benchPoolThreads, Pool: pool}
+					core.ComputeInto(dst, core.MethodAuto, x, u, n, opts) // warm the workspaces
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						core.ComputeInto(dst, core.MethodAuto, x, u, n, opts)
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkMTTKRPAllocVsInto quantifies what the allocating convenience
+// API costs relative to the zero-alloc steady-state entry point.
+func BenchmarkMTTKRPAllocVsInto(b *testing.B) {
+	const c = 25
+	x, u := fig5Problem(4, c)
+	pool := parallel.NewPool(benchThreads)
+	defer pool.Close()
+	opts := core.Options{Threads: benchThreads, Pool: pool}
+	b.Run("compute-alloc", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			core.Compute(core.MethodAuto, x, u, 0, opts)
+		}
+	})
+	b.Run("compute-into", func(b *testing.B) {
+		dst := mat.NewDense(x.Dim(0), c)
+		core.ComputeInto(dst, core.MethodAuto, x, u, 0, opts)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			core.ComputeInto(dst, core.MethodAuto, x, u, 0, opts)
+		}
+	})
+}
+
+// BenchmarkMTTKRPKRPRuntime is the Figure 4 KRP kernel on both runtimes:
+// the paper's reuse algorithm streaming ~1M output rows, dispatched on the
+// persistent pool vs freshly spawned goroutines.
+func BenchmarkMTTKRPKRPRuntime(b *testing.B) {
+	const c = 25
+	const j = 1 << 20
+	for _, z := range []int{2, 3, 4} {
+		per := int(math.Round(math.Pow(float64(j), 1/float64(z))))
+		rng := rand.New(rand.NewSource(int64(z)))
+		mats := make([]mat.View, z)
+		rows := 1
+		for i := range mats {
+			mats[i] = mat.RandomDense(per, c, rng)
+			rows *= per
+		}
+		out := mat.NewDense(rows, c)
+		for _, rt := range []string{"pooled", "spawn"} {
+			b.Run(fmt.Sprintf("Z=%d/%s", z, rt), func(b *testing.B) {
+				var pool *parallel.Pool
+				if rt == "pooled" {
+					pool = parallel.NewPool(benchPoolThreads)
+					defer pool.Close()
+				} else {
+					pool = parallel.NewSpawnPool()
+				}
+				ws := pool.Acquire()
+				defer ws.Release()
+				krp.ParallelOn(pool, ws, benchPoolThreads, mats, out)
+				b.ReportAllocs()
+				b.SetBytes(int64(rows) * c * 8)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					krp.ParallelOn(pool, ws, benchPoolThreads, mats, out)
+				}
+			})
+		}
 	}
 }
 

@@ -14,8 +14,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"time"
@@ -27,44 +29,54 @@ import (
 )
 
 func main() {
-	dimsFlag := flag.String("dims", "", "comma-separated tensor dimensions, e.g. 60,50,40")
-	useFMRI := flag.Bool("fmri", false, "use the synthetic fMRI dataset instead of a random tensor")
-	fmriScale := flag.Float64("fmri-scale", 0.25, "linear scale of the fMRI dimensions vs the paper's 225x59x200x200")
-	linearize := flag.Bool("linearize", false, "with -fmri: decompose the symmetry-reduced 3-way tensor")
-	rank := flag.Int("rank", 10, "CP rank (number of components)")
-	iters := flag.Int("maxiters", 50, "maximum ALS sweeps")
-	tol := flag.Float64("tol", 1e-4, "fit-change stopping tolerance (negative: always run maxiters)")
-	threads := flag.Int("threads", 0, "worker count (0 = GOMAXPROCS)")
-	seed := flag.Int64("seed", 1, "random seed for data and initial guess")
-	methodName := flag.String("method", "auto", "MTTKRP method: auto, 1step, 2step, reorder")
-	noise := flag.Float64("noise", 0.1, "with -fmri: relative noise level")
-	multiSweep := flag.Bool("multisweep", false, "share partial MTTKRPs across modes (2 tensor passes per sweep)")
-	nonneg := flag.Bool("nonneg", false, "nonnegative CP via HALS (requires a nonnegative tensor)")
-	nvecs := flag.Bool("nvecs", false, "initialize from leading eigenvectors instead of a random draw")
-	corcondia := flag.Bool("corcondia", false, "report the core consistency diagnostic of the fit")
-	loadPath := flag.String("load", "", "load the tensor from a file written by -save instead of generating one")
-	savePath := flag.String("save", "", "save the generated tensor to this file before decomposing")
-	flag.Parse()
+	cli.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the command with explicit arguments and output streams so
+// tests can drive it end to end.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("cpd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dimsFlag := fs.String("dims", "", "comma-separated tensor dimensions, e.g. 60,50,40")
+	useFMRI := fs.Bool("fmri", false, "use the synthetic fMRI dataset instead of a random tensor")
+	fmriScale := fs.Float64("fmri-scale", 0.25, "linear scale of the fMRI dimensions vs the paper's 225x59x200x200")
+	linearize := fs.Bool("linearize", false, "with -fmri: decompose the symmetry-reduced 3-way tensor")
+	rank := fs.Int("rank", 10, "CP rank (number of components)")
+	iters := fs.Int("maxiters", 50, "maximum ALS sweeps")
+	tol := fs.Float64("tol", 1e-4, "fit-change stopping tolerance (negative: always run maxiters)")
+	threads := fs.Int("threads", 0, "worker count (0 = GOMAXPROCS)")
+	seed := fs.Int64("seed", 1, "random seed for data and initial guess")
+	methodName := fs.String("method", "auto", "MTTKRP method: auto, 1step, 2step, reorder")
+	noise := fs.Float64("noise", 0.1, "with -fmri: relative noise level")
+	multiSweep := fs.Bool("multisweep", false, "share partial MTTKRPs across modes (2 tensor passes per sweep)")
+	nonneg := fs.Bool("nonneg", false, "nonnegative CP via HALS (requires a nonnegative tensor)")
+	nvecs := fs.Bool("nvecs", false, "initialize from leading eigenvectors instead of a random draw")
+	corcondia := fs.Bool("corcondia", false, "report the core consistency diagnostic of the fit")
+	loadPath := fs.String("load", "", "load the tensor from a file written by -save instead of generating one")
+	savePath := fs.String("save", "", "save the generated tensor to this file before decomposing")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return cli.UsageError{} // the FlagSet already printed message and usage
+	}
 
 	method, err := cli.ParseMethod(*methodName)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return cli.UsageError{Msg: err.Error()}
 	}
 
 	var x *tensor.Dense
 	switch {
 	case *loadPath != "":
-		var err error
 		if x, err = tensor.Load(*loadPath); err != nil {
-			fmt.Fprintln(os.Stderr, "load:", err)
-			os.Exit(1)
+			return fmt.Errorf("load: %w", err)
 		}
 	case *useFMRI:
 		p := fmri.PaperParams().Scaled(*fmriScale)
 		p.Noise = *noise
 		p.Seed = *seed
-		fmt.Printf("generating fMRI dataset %dx%dx%dx%d (%d planted networks, noise %.2g)...\n",
+		fmt.Fprintf(stdout, "generating fMRI dataset %dx%dx%dx%d (%d planted networks, noise %.2g)...\n",
 			p.Times, p.Subjects, p.Regions, p.Regions, p.Components, p.Noise)
 		ds := fmri.Generate(p)
 		if *linearize {
@@ -75,24 +87,21 @@ func main() {
 	case *dimsFlag != "":
 		dims, err := cli.ParseDims(*dimsFlag)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return cli.UsageError{Msg: err.Error()}
 		}
 		x = tensor.Random(rand.New(rand.NewSource(*seed)), dims...)
 	default:
-		fmt.Fprintln(os.Stderr, "need -dims or -fmri; see -h")
-		os.Exit(2)
+		return cli.UsageError{Msg: "need -dims or -fmri; see -h"}
 	}
 
 	if *savePath != "" {
 		if err := x.Save(*savePath); err != nil {
-			fmt.Fprintln(os.Stderr, "save:", err)
-			os.Exit(1)
+			return fmt.Errorf("save: %w", err)
 		}
-		fmt.Printf("saved tensor to %s\n", *savePath)
+		fmt.Fprintf(stdout, "saved tensor to %s\n", *savePath)
 	}
 
-	fmt.Printf("tensor %v (%d entries, %.1f MB), rank %d, method %v\n",
+	fmt.Fprintf(stdout, "tensor %v (%d entries, %.1f MB), rank %d, method %v\n",
 		x.Dims(), x.Size(), float64(x.Size())*8/1e6, *rank, method)
 
 	cfg := cpd.Config{
@@ -106,7 +115,7 @@ func main() {
 	}
 	if *nvecs {
 		cfg.Init = cpd.NVecsInit(*threads, x, *rank, *seed)
-		fmt.Println("using nvecs (leading-eigenvector) initialization")
+		fmt.Fprintln(stdout, "using nvecs (leading-eigenvector) initialization")
 	}
 	start := time.Now()
 	var res *cpd.Result
@@ -116,23 +125,23 @@ func main() {
 		res, err = cpd.ALS(x, cfg)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "cp-als:", err)
-		os.Exit(1)
+		return fmt.Errorf("cp-als: %w", err)
 	}
 	elapsed := time.Since(start)
 
-	fmt.Printf("converged: fit %.6f after %d sweeps in %v (%.3fs/sweep)\n",
+	fmt.Fprintf(stdout, "converged: fit %.6f after %d sweeps in %v (%.3fs/sweep)\n",
 		res.Fit, res.Iters, elapsed.Round(time.Millisecond), res.MeanIterTime().Seconds())
 	res.K.Arrange()
-	fmt.Println("component weights (descending):")
+	fmt.Fprintln(stdout, "component weights (descending):")
 	for i, l := range res.K.Lambda {
-		fmt.Printf("  λ[%d] = %.4g\n", i, l)
+		fmt.Fprintf(stdout, "  λ[%d] = %.4g\n", i, l)
 	}
 	if len(res.FitHistory) > 1 {
-		fmt.Printf("fit history: first %.4f, last %.4f\n", res.FitHistory[0], res.Fit)
+		fmt.Fprintf(stdout, "fit history: first %.4f, last %.4f\n", res.FitHistory[0], res.Fit)
 	}
 	if *corcondia {
 		cc := cpd.Corcondia(*threads, x, res.K)
-		fmt.Printf("core consistency (CORCONDIA): %.1f\n", cc)
+		fmt.Fprintf(stdout, "core consistency (CORCONDIA): %.1f\n", cc)
 	}
+	return nil
 }

@@ -13,8 +13,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -26,55 +28,67 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 4a, 4b, 5, 6, 7, 8, or all")
-	scale := flag.Float64("scale", 0.01, "problem size as a fraction of the paper's (entry count)")
-	paper := flag.Bool("paper", false, "use the paper's full problem sizes (overrides -scale; needs ~10 GB)")
-	maxThreads := flag.Int("maxthreads", runtime.GOMAXPROCS(0), "top of the thread sweep")
-	trials := flag.Int("trials", 3, "timed repetitions per point (median reported)")
-	csvDir := flag.String("csvdir", "", "also write every table as a CSV file into this directory")
-	flag.Parse()
+	cli.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the benchmark suite with explicit arguments and output
+// streams so tests can drive it end to end.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("mttkrp-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fig := fs.String("fig", "all", "figure to regenerate: 4a, 4b, 5, 6, 7, 8, or all")
+	scale := fs.Float64("scale", 0.01, "problem size as a fraction of the paper's (entry count)")
+	paper := fs.Bool("paper", false, "use the paper's full problem sizes (overrides -scale; needs ~10 GB)")
+	maxThreads := fs.Int("maxthreads", runtime.GOMAXPROCS(0), "top of the thread sweep")
+	trials := fs.Int("trials", 3, "timed repetitions per point (median reported)")
+	csvDir := fs.String("csvdir", "", "also write every table as a CSV file into this directory")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return cli.UsageError{} // the FlagSet already printed message and usage
+	}
 
 	cfg := bench.Config{
 		Scale:      *scale,
 		MaxThreads: *maxThreads,
 		Trials:     *trials,
-		Out:        os.Stdout,
+		Out:        stdout,
 	}
 	if *paper {
 		cfg.Scale = 1.0
 	}
 
-	fmt.Printf("# MTTKRP benchmark suite — scale=%.4g, threads 1..%d, %d trials, GOMAXPROCS=%d\n\n",
+	fmt.Fprintf(stdout, "# MTTKRP benchmark suite — scale=%.4g, threads 1..%d, %d trials, GOMAXPROCS=%d\n\n",
 		cfg.Scale, cfg.MaxThreads, cfg.Trials, runtime.GOMAXPROCS(0))
 
 	start := time.Now()
 	ran := false
 	var tables []*bench.Table
 	want := strings.ToLower(*fig)
-	run := func(name string, f func() []*bench.Table) {
+	runFig := func(name string, f func() []*bench.Table) {
 		if want == "all" || want == name || (len(name) > 1 && want == name[:1] && name[1] >= 'a') {
 			tables = append(tables, f()...)
 			ran = true
 		}
 	}
-	run("4a", func() []*bench.Table { return []*bench.Table{bench.Fig4(cfg, 25)} })
-	run("4b", func() []*bench.Table { return []*bench.Table{bench.Fig4(cfg, 50)} })
-	run("5", func() []*bench.Table { return bench.Fig5(cfg) })
-	run("6", func() []*bench.Table { return bench.Fig6(cfg) })
-	run("7", func() []*bench.Table { return bench.Fig7(cfg) })
-	run("8", func() []*bench.Table { return bench.Fig8(cfg) })
+	runFig("4a", func() []*bench.Table { return []*bench.Table{bench.Fig4(cfg, 25)} })
+	runFig("4b", func() []*bench.Table { return []*bench.Table{bench.Fig4(cfg, 50)} })
+	runFig("5", func() []*bench.Table { return bench.Fig5(cfg) })
+	runFig("6", func() []*bench.Table { return bench.Fig6(cfg) })
+	runFig("7", func() []*bench.Table { return bench.Fig7(cfg) })
+	runFig("8", func() []*bench.Table { return bench.Fig8(cfg) })
 	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown figure %q (want 4a, 4b, 5, 6, 7, 8, or all)\n", *fig)
-		os.Exit(2)
+		return cli.UsageError{Msg: fmt.Sprintf("unknown figure %q (want 4a, 4b, 5, 6, 7, 8, or all)", *fig)}
 	}
 	if *csvDir != "" {
 		if err := writeCSVs(*csvDir, tables); err != nil {
-			fmt.Fprintln(os.Stderr, "csv:", err)
-			os.Exit(1)
+			return fmt.Errorf("csv: %w", err)
 		}
-		fmt.Printf("# wrote %d CSV files to %s\n", len(tables), *csvDir)
+		fmt.Fprintf(stdout, "# wrote %d CSV files to %s\n", len(tables), *csvDir)
 	}
-	fmt.Printf("# done in %v\n", time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(stdout, "# done in %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
 }
 
 // writeCSVs saves each table as <slug-of-title>.csv under dir.

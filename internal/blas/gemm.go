@@ -1,8 +1,6 @@
 package blas
 
 import (
-	"sync"
-
 	"repro/internal/mat"
 	"repro/internal/parallel"
 )
@@ -13,95 +11,164 @@ import (
 // blocks times I^L_n × C), so the small path matters.
 const smallGemmFlops = 256 * 1024
 
-// packPool recycles packing buffers across GEMM calls; the block loops of
-// the 1-step algorithm issue thousands of same-shaped GEMMs and must not
-// allocate per call.
-var packPool = sync.Pool{New: func() any { return new([]float64) }}
-
-func getPackBuf(n int) (*[]float64, []float64) {
-	p := packPool.Get().(*[]float64)
-	if cap(*p) < n {
-		*p = make([]float64, n)
-	}
-	return p, (*p)[:n]
-}
-
 // Gemm computes C = alpha*A*B + beta*C using t workers and default
 // blocking. Transposition is expressed through views: pass A.T() for AᵀB.
+// Parallel work runs on the default persistent pool; pack buffers come
+// from the pool's reusable workspaces, so repeated calls allocate nothing.
 func Gemm(t int, alpha float64, a, b mat.View, beta float64, c mat.View) {
-	GemmBlocked(t, alpha, a, b, beta, c, Blocking{})
+	GemmBlockedOn(nil, t, alpha, a, b, beta, c, Blocking{})
+}
+
+// GemmOn is Gemm executed on an explicit pool.
+func GemmOn(p *parallel.Pool, t int, alpha float64, a, b mat.View, beta float64, c mat.View) {
+	GemmBlockedOn(p, t, alpha, a, b, beta, c, Blocking{})
 }
 
 // GemmBlocked is Gemm with explicit cache-blocking parameters (for the
 // blocking ablation benchmark).
 func GemmBlocked(t int, alpha float64, a, b mat.View, beta float64, c mat.View, bl Blocking) {
+	GemmBlockedOn(nil, t, alpha, a, b, beta, c, bl)
+}
+
+// GemmArena computes C = alpha*A*B + beta*C sequentially on the calling
+// goroutine, taking pack buffers from the given arena. It exists for
+// kernel worker bodies, which already execute inside a parallel region and
+// own a per-worker arena: calling it never touches a pool, so it is safe
+// (and allocation-free) inside dispatched code.
+func GemmArena(ar *parallel.Arena, alpha float64, a, b mat.View, beta float64, c mat.View) {
 	m, n, k := checkGemmDims(a, b, c)
 	if m == 0 || n == 0 {
 		return
 	}
-	scaleView(t, beta, c)
+	scaleRows(beta, c)
 	if alpha == 0 || k == 0 {
 		return
 	}
 	if int64(m)*int64(n)*int64(k) <= smallGemmFlops {
-		if t > 1 && m >= 2*t {
-			parallelRows(t, m, func(lo, hi int) {
-				gemmSmallAcc(alpha, a.Slice(lo, hi, 0, k), b, c.Slice(lo, hi, 0, n))
-			})
-			return
-		}
 		gemmSmallAcc(alpha, a, b, c)
 		return
 	}
-	bl = bl.orDefault()
+	gemmStripe(alpha, a, b, c, Blocking{}.orDefault(), ar)
+}
 
-	// Worker split: divide the M dimension into contiguous stripes, one per
-	// worker. Each worker runs the full blocked loop nest on its stripe,
-	// packing its own A panels. B panels are packed redundantly per worker;
-	// for the tall-and-skinny shapes MTTKRP produces (huge M, small N) the
-	// duplicated packing cost is negligible and avoiding cross-worker
-	// synchronization keeps the scaling clean. The K dimension is never
-	// split (see package comment).
-	tm := parallel.Clamp(t, (m+mr-1)/mr)
-	if tm == 1 {
-		gemmStripe(alpha, a, b, c, bl)
+// GemmBlockedOn is the full GEMM entry point: explicit pool, worker count
+// and blocking parameters. A nil pool selects the process-wide default,
+// resolved only when pack buffers or a dispatch are actually needed.
+func GemmBlockedOn(p *parallel.Pool, t int, alpha float64, a, b mat.View, beta float64, c mat.View, bl Blocking) {
+	m, n, k := checkGemmDims(a, b, c)
+	if m == 0 || n == 0 {
 		return
 	}
-	stripes := parallel.Split((m+mr-1)/mr, tm) // split in units of micro-rows
-	parallel.Run(tm, func(w int) {
-		r := stripes[w]
-		lo, hi := r.Lo*mr, r.Hi*mr
-		if hi > m {
-			hi = m
+	if t <= 0 {
+		t = parallel.DefaultThreads() // 0 means GOMAXPROCS, as everywhere else
+	}
+	small := int64(m)*int64(n)*int64(k) <= smallGemmFlops
+	if t <= 1 || (small && m < 2*t) {
+		scaleRows(beta, c)
+		if alpha == 0 || k == 0 {
+			return
+		}
+		if small {
+			gemmSmallAcc(alpha, a, b, c)
+			return
+		}
+		if p == nil {
+			p = parallel.Default()
+		}
+		ws := p.Acquire()
+		gemmStripe(alpha, a, b, c, bl.orDefault(), ws.Arena(0))
+		ws.Release()
+		return
+	}
+
+	if p == nil {
+		p = parallel.Default()
+	}
+	ws := p.Acquire()
+	f := ws.Frame("blas.gemm", newGemmFrame).(*gemmFrame)
+	f.alpha, f.beta = alpha, beta
+	f.a, f.b, f.c = a, b, c
+	f.m, f.n, f.k = m, n, k
+	f.bl = bl.orDefault()
+	f.ws = ws
+	if beta != 1 {
+		p.For(t, c.R, f.scaleBody)
+	}
+	switch {
+	case alpha == 0 || k == 0:
+	case small:
+		p.For(t, m, f.smallBody)
+	default:
+		// Worker split: divide the M dimension into contiguous stripes, one
+		// per worker. Each worker runs the full blocked loop nest on its
+		// stripe, packing its own A panels. B panels are packed redundantly
+		// per worker; for the tall-and-skinny shapes MTTKRP produces (huge
+		// M, small N) the duplicated packing cost is negligible and avoiding
+		// cross-worker synchronization keeps the scaling clean. The K
+		// dimension is never split (see package comment).
+		f.tm = parallel.Clamp(t, (m+mr-1)/mr)
+		if f.tm == 1 {
+			gemmStripe(alpha, a, b, c, f.bl, ws.Arena(0))
+		} else {
+			ws.Arena(f.tm - 1) // pre-grow arenas before the dispatch
+			p.Run(f.tm, f.stripeBody)
+		}
+	}
+	f.a, f.b, f.c = mat.View{}, mat.View{}, mat.View{}
+	f.ws = nil
+	ws.Release()
+}
+
+// gemmFrame holds the per-call parameters of a parallel GEMM plus the
+// pre-bound worker closures, cached in a workspace so dispatching repeated
+// GEMMs allocates nothing.
+type gemmFrame struct {
+	alpha, beta float64
+	a, b, c     mat.View
+	m, n, k, tm int
+	bl          Blocking
+	ws          *parallel.Workspace
+	scaleBody   func(w, lo, hi int)
+	smallBody   func(w, lo, hi int)
+	stripeBody  func(w int)
+}
+
+func newGemmFrame() any {
+	f := &gemmFrame{}
+	f.scaleBody = func(_, lo, hi int) {
+		scaleRows(f.beta, f.c.Slice(lo, hi, 0, f.n))
+	}
+	f.smallBody = func(_, lo, hi int) {
+		gemmSmallAcc(f.alpha, f.a.Slice(lo, hi, 0, f.k), f.b, f.c.Slice(lo, hi, 0, f.n))
+	}
+	f.stripeBody = func(w int) {
+		r0, r1 := parallel.BlockRange((f.m+mr-1)/mr, f.tm, w)
+		lo, hi := r0*mr, r1*mr
+		if hi > f.m {
+			hi = f.m
 		}
 		if lo >= hi {
 			return
 		}
-		gemmStripe(alpha, a.Slice(lo, hi, 0, k), b, c.Slice(lo, hi, 0, n), bl)
-	})
+		gemmStripe(f.alpha, f.a.Slice(lo, hi, 0, f.k), f.b, f.c.Slice(lo, hi, 0, f.n), f.bl, f.ws.Arena(w))
+	}
+	return f
 }
 
-// scaleView computes C *= beta in parallel over rows.
-func scaleView(t int, beta float64, c mat.View) {
+// scaleRows computes C *= beta sequentially (beta == 0 clears).
+func scaleRows(beta float64, c mat.View) {
 	if beta == 1 {
 		return
 	}
-	parallelRows(t, c.R, func(lo, hi int) {
-		blk := c.Slice(lo, hi, 0, c.C)
-		if beta == 0 {
-			blk.Zero()
-			return
+	if beta == 0 {
+		c.Zero()
+		return
+	}
+	for i := 0; i < c.R; i++ {
+		for j := 0; j < c.C; j++ {
+			c.Set(i, j, beta*c.At(i, j))
 		}
-		for i := 0; i < blk.R; i++ {
-			for j := 0; j < blk.C; j++ {
-				blk.Set(i, j, beta*blk.At(i, j))
-			}
-		}
-	})
-}
-
-func parallelRows(t, rows int, body func(lo, hi int)) {
-	parallel.For(t, rows, func(_, lo, hi int) { body(lo, hi) })
+	}
 }
 
 // gemmSmallAcc computes C += alpha*A*B for small problems, dispatching to
@@ -152,13 +219,12 @@ func gemmNaiveAcc(alpha float64, a, b, c mat.View) {
 
 // gemmStripe runs the five-loop blocked GEMM (BLIS structure) on one
 // contiguous stripe of rows, sequentially: C += alpha*A*B. Packing
-// buffers are sized to the actual block extents and recycled via a pool.
-func gemmStripe(alpha float64, a, b, c mat.View, bl Blocking) {
+// buffers are sized to the actual block extents and leased from the
+// worker's arena, so same-shaped stripes reuse one pair of panels.
+func gemmStripe(alpha float64, a, b, c mat.View, bl Blocking, ar *parallel.Arena) {
 	m, n, k := a.R, b.C, a.C
-	apHandle, ap := getPackBuf(min(bl.MC, roundUp(m, mr)) * min(bl.KC, k))
-	bpHandle, bp := getPackBuf(min(bl.KC, k) * min(bl.NC, roundUp(n, nr)))
-	defer packPool.Put(apHandle)
-	defer packPool.Put(bpHandle)
+	ap := ar.Float64("blas.packA", min(bl.MC, roundUp(m, mr))*min(bl.KC, k))
+	bp := ar.Float64("blas.packB", min(bl.KC, k)*min(bl.NC, roundUp(n, nr)))
 	var acc [mr * nr]float64
 	for jc := 0; jc < n; jc += bl.NC {
 		nc := min(bl.NC, n-jc)

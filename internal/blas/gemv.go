@@ -4,14 +4,23 @@ import (
 	"fmt"
 
 	"repro/internal/mat"
+	"repro/internal/parallel"
 )
 
 // Gemv computes y = alpha*A*x + beta*y with t workers. A may have any
 // strides; the multi-TTV step of the 2-step MTTKRP calls this on row-major
 // and column-major subtensor matricizations (Figures 3b and 3d of the
 // paper). Work is split by contiguous blocks of y, so workers never write
-// the same element.
+// the same element. With t <= 1 it runs inline on the calling goroutine
+// without touching any pool, so worker bodies may call it freely.
 func Gemv(t int, alpha float64, a mat.View, x mat.Vec, beta float64, y mat.Vec) {
+	GemvOn(nil, t, alpha, a, x, beta, y)
+}
+
+// GemvOn is Gemv executed on an explicit pool; a nil pool selects the
+// process-wide default, resolved only if the call actually dispatches (so
+// sequential calls never instantiate the default worker team).
+func GemvOn(p *parallel.Pool, t int, alpha float64, a mat.View, x mat.Vec, beta float64, y mat.Vec) {
 	if a.C != x.N {
 		panic(fmt.Sprintf("blas: gemv dimension mismatch: A is %dx%d, x has %d", a.R, a.C, x.N))
 	}
@@ -21,14 +30,36 @@ func Gemv(t int, alpha float64, a mat.View, x mat.Vec, beta float64, y mat.Vec) 
 	if a.R == 0 {
 		return
 	}
-	run := func(lo, hi int) {
-		gemvBlock(alpha, a.Slice(lo, hi, 0, a.C), x, beta, sliceVec(y, lo, hi))
-	}
 	if t <= 1 || a.R < 2 {
-		run(0, a.R)
+		gemvBlock(alpha, a, x, beta, y)
 		return
 	}
-	parallelRows(t, a.R, run)
+	if p == nil {
+		p = parallel.Default()
+	}
+	ws := p.Acquire()
+	f := ws.Frame("blas.gemv", newGemvFrame).(*gemvFrame)
+	f.alpha, f.beta = alpha, beta
+	f.a, f.x, f.y = a, x, y
+	p.For(t, a.R, f.body)
+	f.a, f.x, f.y = mat.View{}, mat.Vec{}, mat.Vec{}
+	ws.Release()
+}
+
+// gemvFrame caches the parallel Gemv worker closure in a workspace.
+type gemvFrame struct {
+	alpha, beta float64
+	a           mat.View
+	x, y        mat.Vec
+	body        func(w, lo, hi int)
+}
+
+func newGemvFrame() any {
+	f := &gemvFrame{}
+	f.body = func(_, lo, hi int) {
+		gemvBlock(f.alpha, f.a.Slice(lo, hi, 0, f.a.C), f.x, f.beta, sliceVec(f.y, lo, hi))
+	}
+	return f
 }
 
 func sliceVec(v mat.Vec, lo, hi int) mat.Vec {

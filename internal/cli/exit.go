@@ -1,0 +1,36 @@
+package cli
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// UsageError marks a bad command invocation, which exits with status 2
+// (runtime failures exit 1). An empty Msg means the FlagSet already
+// printed the diagnostics and usage text, so nothing more is shown.
+type UsageError struct{ Msg string }
+
+func (e UsageError) Error() string { return e.Msg }
+
+// Exit terminates the process with the shared exit-code convention of the
+// repo's commands: nil returns normally (status 0), flag.ErrHelp exits 0,
+// a UsageError exits 2 (printing Msg when non-empty), and anything else
+// prints the error and exits 1.
+func Exit(err error) {
+	var ue UsageError
+	switch {
+	case err == nil:
+	case errors.Is(err, flag.ErrHelp):
+		os.Exit(0)
+	case errors.As(err, &ue):
+		if ue.Msg != "" {
+			fmt.Fprintln(os.Stderr, ue.Msg)
+		}
+		os.Exit(2)
+	default:
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

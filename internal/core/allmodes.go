@@ -31,6 +31,9 @@ import (
 //
 // For order-2 tensors the intermediates are the results themselves and
 // the scheme degenerates to two ordinary MTTKRPs.
+//
+// The whole sweep runs on one pool (opts.Pool or the default) and leases
+// its intermediates from one reusable workspace.
 func SweepAll(x *tensor.Dense, u []mat.View, opts Options, update func(n int, m mat.View)) {
 	validate(x, u, 0)
 	n := x.Order()
@@ -38,46 +41,54 @@ func SweepAll(x *tensor.Dense, u []mat.View, opts Options, update func(n int, m 
 	t := parallel.Clamp(opts.Threads, 0)
 	c := rank(u)
 	bd := opts.Breakdown
+	p := opts.pool()
+	ws := p.Acquire()
+	vf := viewList(ws)
 	totalW := startWatch()
 
 	// Phase 1: contract the right half once; derive modes 0..s-1.
 	leftSize := x.SizeLeft(s-1) * x.Dim(s-1)
-	r := mat.NewColMajor(leftSize, c)
-	kr := mat.NewDense(krp.NumRows(rightOperands(u, s-1)), c)
+	r := arenaColMajor(ws.Arena(0), "core.sweep.r", leftSize, c)
+	vf.ops = appendRightOperands(vf.ops, u, s-1)
+	kr := arenaMat(ws.Arena(0), "core.sweep.kr", krp.NumRows(vf.ops), c)
 	sw := startWatch()
-	krp.Parallel(t, rightOperands(u, s-1), kr)
+	krp.ParallelOn(p, ws, t, vf.ops, kr)
 	bd.add(PhaseLRKRP, sw.elapsed())
 	sw = startWatch()
-	blas.Gemm(t, 1, x.MatricizeRowModes(s-1), kr, 0, r)
+	blas.GemmOn(p, t, 1, x.MatricizeRowModes(s-1), kr, 0, r)
 	bd.add(PhaseGEMM, sw.elapsed())
+	vf.ops = clearViews(vf.ops)
 
 	leftDims := x.Dims()[:s]
 	for mode := 0; mode < s; mode++ {
 		sw = startWatch()
-		m := deriveFromIntermediate(t, r, leftDims, u[:s], mode)
+		m := deriveFromIntermediate(p, ws, t, r, leftDims, u[:s], mode)
 		bd.add(PhaseGEMV, sw.elapsed())
 		update(mode, m)
 	}
 
 	// Phase 2: contract the (updated) left half once; derive s..N-1.
 	rightSize := x.Size() / leftSize
-	l := mat.NewColMajor(rightSize, c)
-	kl := mat.NewDense(krp.NumRows(leftOperands(u, s)), c)
+	l := arenaColMajor(ws.Arena(0), "core.sweep.l", rightSize, c)
+	vf.ops = appendLeftOperands(vf.ops, u, s)
+	kl := arenaMat(ws.Arena(0), "core.sweep.kl", krp.NumRows(vf.ops), c)
 	sw = startWatch()
-	krp.Parallel(t, leftOperands(u, s), kl)
+	krp.ParallelOn(p, ws, t, vf.ops, kl)
 	bd.add(PhaseLRKRP, sw.elapsed())
 	sw = startWatch()
-	blas.Gemm(t, 1, x.MatricizeRowModes(s-1).T(), kl, 0, l)
+	blas.GemmOn(p, t, 1, x.MatricizeRowModes(s-1).T(), kl, 0, l)
 	bd.add(PhaseGEMM, sw.elapsed())
+	vf.ops = clearViews(vf.ops)
 
 	rightDims := x.Dims()[s:]
 	for mode := s; mode < n; mode++ {
 		sw = startWatch()
-		m := deriveFromIntermediate(t, l, rightDims, u[s:], mode-s)
+		m := deriveFromIntermediate(p, ws, t, l, rightDims, u[s:], mode-s)
 		bd.add(PhaseGEMV, sw.elapsed())
 		update(mode, m)
 	}
 	bd.addTotal(totalW.elapsed())
+	ws.Release()
 }
 
 // splitPoint chooses s to minimize the combined size of the two
@@ -96,33 +107,58 @@ func splitPoint(x *tensor.Dense) int {
 	return best
 }
 
+// deriveFrame is the workspace-cached column-loop state of
+// deriveFromIntermediate.
+type deriveFrame struct {
+	inter   mat.View
+	dims    []int
+	factors []mat.View
+	mode    int
+	out     mat.View
+	ws      *parallel.Workspace
+	body    func(w, lo, hi int)
+}
+
+func newDeriveFrame() any {
+	f := &deriveFrame{}
+	f.body = func(w, lo, hi int) {
+		size := f.inter.R
+		ar := f.ws.Arena(w)
+		for col := lo; col < hi; col++ {
+			sub := tensor.FromData(f.inter.Data[col*size:(col+1)*size], f.dims...)
+			// Contract every mode except `mode`, highest original mode
+			// first so remaining mode indices are unaffected.
+			for k := len(f.dims) - 1; k >= 0; k-- {
+				if k == f.mode {
+					continue
+				}
+				v := ar.Float64("core.derive.v", f.factors[k].R)
+				blas.CopyVec(f.factors[k].Col(col), mat.FromSlice(v))
+				sub = sub.TTV(k, v)
+			}
+			for i := 0; i < f.dims[f.mode]; i++ {
+				f.out.Set(i, col, sub.Data()[i])
+			}
+		}
+	}
+	return f
+}
+
 // deriveFromIntermediate computes the MTTKRP of mode `mode` (an index into
 // dims/factors, which describe one half) from the half's intermediate: an
 // (∏dims) × C column-major matrix whose column c is the natural-layout
 // subtensor for component c. Column c of the result is the subtensor
 // contracted against factors[k] column c for every k ≠ mode. Columns are
 // independent and processed in parallel.
-func deriveFromIntermediate(t int, inter mat.View, dims []int, factors []mat.View, mode int) mat.View {
+func deriveFromIntermediate(p *parallel.Pool, ws *parallel.Workspace, t int, inter mat.View, dims []int, factors []mat.View, mode int) mat.View {
 	c := inter.C
 	out := mat.NewDense(dims[mode], c)
-	size := inter.R
-	parallel.For(t, c, func(_, lo, hi int) {
-		for col := lo; col < hi; col++ {
-			sub := tensor.FromData(inter.Data[col*size:(col+1)*size], dims...)
-			// Contract every mode except `mode`, highest original mode
-			// first so remaining mode indices are unaffected.
-			for k := len(dims) - 1; k >= 0; k-- {
-				if k == mode {
-					continue
-				}
-				v := make([]float64, factors[k].R)
-				blas.CopyVec(factors[k].Col(col), mat.FromSlice(v))
-				sub = sub.TTV(k, v)
-			}
-			for i := 0; i < dims[mode]; i++ {
-				out.Set(i, col, sub.Data()[i])
-			}
-		}
-	})
+	f := ws.Frame("core.derive", newDeriveFrame).(*deriveFrame)
+	f.inter, f.dims, f.factors, f.mode, f.out, f.ws = inter, dims, factors, mode, out, ws
+	ws.Arena(parallel.Clamp(t, c) - 1) // pre-grow arenas before the dispatch
+	p.For(t, c, f.body)
+	f.inter, f.out = mat.View{}, mat.View{}
+	f.dims, f.factors = nil, nil
+	f.ws = nil
 	return out
 }

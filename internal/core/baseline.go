@@ -17,17 +17,32 @@ import (
 // Toolbox's dense MTTKRP, used here as the Figure 7 comparator.
 func Reorder(x *tensor.Dense, u []mat.View, n int, opts Options) mat.View {
 	validate(x, u, n)
+	return ReorderInto(mat.NewDense(x.Dim(n), rank(u)), x, u, n, opts)
+}
+
+// ReorderInto is Reorder writing into a caller-owned contiguous row-major
+// result matrix. The baseline allocates its O(|X|) temporaries — the
+// unfolded copy and the full KRP — per call rather than leasing them from
+// the pool's workspace: that memory traffic is the point of the baseline,
+// and caching tensor-sized scratch in a long-lived pool would pin peak
+// memory forever.
+func ReorderInto(dst mat.View, x *tensor.Dense, u []mat.View, n int, opts Options) mat.View {
+	validate(x, u, n)
 	c := rank(u)
+	validateDst(dst, x.Dim(n), c)
 	t := opts.Threads
 	tAux := t // workers for the reorder and the KRP
 	if opts.BlasOnlyParallel {
 		tAux = 1
 	}
 	bd := opts.Breakdown
-	ops := operands(u, n)
+	p := opts.pool()
+	ws := p.Acquire()
+	vf := viewList(ws)
+	vf.ops = appendOperands(vf.ops, u, n)
+	ops := vf.ops
 
 	k := mat.NewDense(krp.NumRows(ops), c)
-	m := mat.NewDense(x.Dim(n), c)
 
 	totalW := startWatch()
 	sw := startWatch()
@@ -35,14 +50,16 @@ func Reorder(x *tensor.Dense, u []mat.View, n int, opts Options) mat.View {
 	bd.add(PhaseReorder, sw.elapsed())
 
 	sw = startWatch()
-	krp.Parallel(tAux, ops, k)
+	krp.ParallelOn(p, ws, tAux, ops, k)
 	bd.add(PhaseFullKRP, sw.elapsed())
 
 	sw = startWatch()
-	blas.Gemm(t, 1, xn, k, 0, m)
+	blas.GemmOn(p, t, 1, xn, k, 0, dst)
 	bd.add(PhaseGEMM, sw.elapsed())
 	bd.addTotal(totalW.elapsed())
-	return m
+	vf.ops = clearViews(vf.ops)
+	ws.Release()
+	return dst
 }
 
 // GemmBaseline is the paper's "Baseline" benchmark series: the time of a

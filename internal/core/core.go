@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"repro/internal/mat"
+	"repro/internal/parallel"
 	"repro/internal/tensor"
 )
 
@@ -79,28 +80,71 @@ type Options struct {
 	// cited in the paper's related work). Zero materializes the whole
 	// per-worker block, as in Algorithm 3. The result is identical.
 	KRPChunkRows int
+	// Pool, when non-nil, selects the persistent worker pool (and its
+	// reusable per-worker workspaces) that executes the kernels; nil uses
+	// the process-wide default pool. Concurrent computations that each
+	// want full parallelism should run on one pool per request. The
+	// isolation covers the MTTKRP kernels, BLAS calls and reductions;
+	// auxiliary tensor utilities without a pool parameter (for example
+	// the reorder baseline's Unfold and tensor.Norm) still run on the
+	// default pool.
+	Pool *parallel.Pool
+}
+
+// pool resolves the execution pool for this computation.
+func (o Options) pool() *parallel.Pool {
+	if o.Pool != nil {
+		return o.Pool
+	}
+	return parallel.Default()
 }
 
 // Compute runs the selected MTTKRP method for mode n and returns the
 // I_n × C result matrix (row-major).
 func Compute(method Method, x *tensor.Dense, u []mat.View, n int, opts Options) mat.View {
 	validate(x, u, n)
-	switch method {
-	case MethodOneStep:
-		return OneStep(x, u, n, opts)
-	case MethodTwoStep:
-		return TwoStep(x, u, n, opts)
-	case MethodReorder:
-		return Reorder(x, u, n, opts)
-	case MethodAuto:
-		if isExternal(x, n) {
-			return OneStep(x, u, n, opts)
-		}
-		return TwoStep(x, u, n, opts)
-	case MethodNaive:
+	if method == MethodNaive {
 		return Naive(x, u, n)
 	}
+	return ComputeInto(mat.NewDense(x.Dim(n), rank(u)), method, x, u, n, opts)
+}
+
+// ComputeInto runs the selected MTTKRP method for mode n, writing the
+// I_n × C result into dst (contiguous row-major) and returning it. dst is
+// the steady-state entry point: with a retained dst and a persistent pool,
+// repeated same-shape calls reuse the pool's workspaces and allocate
+// nothing.
+func ComputeInto(dst mat.View, method Method, x *tensor.Dense, u []mat.View, n int, opts Options) mat.View {
+	validate(x, u, n)
+	validateDst(dst, x.Dim(n), rank(u))
+	switch method {
+	case MethodOneStep:
+		return OneStepInto(dst, x, u, n, opts)
+	case MethodTwoStep:
+		return TwoStepInto(dst, x, u, n, opts)
+	case MethodReorder:
+		return ReorderInto(dst, x, u, n, opts)
+	case MethodAuto:
+		if isExternal(x, n) {
+			return OneStepInto(dst, x, u, n, opts)
+		}
+		return TwoStepInto(dst, x, u, n, opts)
+	case MethodNaive:
+		dst.CopyFrom(Naive(x, u, n))
+		return dst
+	}
 	panic(fmt.Sprintf("core: unknown method %d", int(method)))
+}
+
+// validateDst checks that dst is a contiguous row-major in × c matrix (the
+// kernels use its backing slice directly as worker 0's accumulator).
+func validateDst(dst mat.View, in, c int) {
+	if dst.R != in || dst.C != c {
+		panic(fmt.Sprintf("core: dst is %dx%d, want %dx%d", dst.R, dst.C, in, c))
+	}
+	if !dst.IsRowMajor() {
+		panic("core: dst must be contiguous row-major")
+	}
 }
 
 // Methods lists the production algorithms (excluding the naive reference),
@@ -146,33 +190,81 @@ func rank(u []mat.View) int { return u[0].C }
 // [U_{N-1}, …, U_{n+1}, U_{n-1}, …, U₀], so that U₀'s row index varies
 // fastest, matching the column linearization of X_(n).
 func operands(u []mat.View, n int) []mat.View {
-	ops := make([]mat.View, 0, len(u)-1)
+	return appendOperands(make([]mat.View, 0, len(u)-1), u, n)
+}
+
+// appendOperands is operands into a caller-owned slice (kernel frames reuse
+// one backing array across calls).
+func appendOperands(dst []mat.View, u []mat.View, n int) []mat.View {
 	for k := len(u) - 1; k >= 0; k-- {
 		if k != n {
-			ops = append(ops, u[k])
+			dst = append(dst, u[k])
 		}
 	}
-	return ops
+	return dst
 }
 
 // leftOperands returns [U_{n-1}, …, U₀]: the left partial KRP K_L, whose
 // rows are indexed by the linearization of modes 0..n-1.
 func leftOperands(u []mat.View, n int) []mat.View {
-	ops := make([]mat.View, 0, n)
+	return appendLeftOperands(make([]mat.View, 0, n), u, n)
+}
+
+func appendLeftOperands(dst []mat.View, u []mat.View, n int) []mat.View {
 	for k := n - 1; k >= 0; k-- {
-		ops = append(ops, u[k])
+		dst = append(dst, u[k])
 	}
-	return ops
+	return dst
 }
 
 // rightOperands returns [U_{N-1}, …, U_{n+1}]: the right partial KRP K_R,
 // whose rows are indexed by the linearization of modes n+1..N-1.
 func rightOperands(u []mat.View, n int) []mat.View {
-	ops := make([]mat.View, 0, len(u)-n-1)
+	return appendRightOperands(make([]mat.View, 0, len(u)-n-1), u, n)
+}
+
+func appendRightOperands(dst []mat.View, u []mat.View, n int) []mat.View {
 	for k := len(u) - 1; k > n; k-- {
-		ops = append(ops, u[k])
+		dst = append(dst, u[k])
 	}
-	return ops
+	return dst
+}
+
+// clearViews zeroes a frame-cached view slice so released workspaces do not
+// retain caller data, returning it emptied with capacity intact.
+func clearViews(s []mat.View) []mat.View {
+	for i := range s {
+		s[i] = mat.View{}
+	}
+	return s[:0]
+}
+
+// viewListFrame is a workspace-cached operand-list scratch slice for
+// coordinator-level kernels that need one KRP operand list per call.
+type viewListFrame struct{ ops []mat.View }
+
+func newViewListFrame() any { return &viewListFrame{} }
+
+func viewList(ws *parallel.Workspace) *viewListFrame {
+	return ws.Frame("core.viewlist", newViewListFrame).(*viewListFrame)
+}
+
+// arenaMat leases an r × c contiguous row-major matrix from ar under tag.
+// Contents are unspecified (whatever the previous same-tag use left).
+func arenaMat(ar *parallel.Arena, tag string, r, c int) mat.View {
+	return mat.FromRowMajor(ar.Float64(tag, r*c), r, c)
+}
+
+// arenaMatZero is arenaMat with the contents cleared.
+func arenaMatZero(ar *parallel.Arena, tag string, r, c int) mat.View {
+	m := arenaMat(ar, tag, r, c)
+	clear(m.Data)
+	return m
+}
+
+// arenaColMajor leases an r × c contiguous column-major matrix from ar.
+func arenaColMajor(ar *parallel.Arena, tag string, r, c int) mat.View {
+	return mat.FromColMajor(ar.Float64(tag, r*c), r, c)
 }
 
 // Naive computes the MTTKRP directly from the definition,

@@ -34,12 +34,12 @@ func OneStepSequential(x *tensor.Dense, u []mat.View, n int, opts Options) mat.V
 	w = startWatch()
 	if n == 0 {
 		// X_(0) is column-major: a single BLAS call.
-		blas.Gemm(1, 1, x.Matricize(0), k, 0, m)
+		blas.GemmOn(opts.pool(), 1, 1, x.Matricize(0), k, 0, m)
 	} else {
 		il := x.SizeLeft(n)
 		for j := 0; j < x.NumModeBlocks(n); j++ {
 			kj := k.Slice(j*il, (j+1)*il, 0, c)
-			blas.Gemm(1, 1, x.ModeBlock(n, j), kj, 1, m)
+			blas.GemmOn(opts.pool(), 1, 1, x.ModeBlock(n, j), kj, 1, m)
 		}
 	}
 	bd.add(PhaseGEMM, w.elapsed())
@@ -55,133 +55,256 @@ func OneStepSequential(x *tensor.Dense, u []mat.View, n int, opts Options) mat.V
 // with a parallel reduction of the private outputs.
 func OneStep(x *tensor.Dense, u []mat.View, n int, opts Options) mat.View {
 	validate(x, u, n)
-	if isExternal(x, n) {
-		return oneStepExternal(x, u, n, opts)
-	}
-	return oneStepInternal(x, u, n, opts)
+	return OneStepInto(mat.NewDense(x.Dim(n), rank(u)), x, u, n, opts)
 }
 
-func oneStepExternal(x *tensor.Dense, u []mat.View, n int, opts Options) mat.View {
+// OneStepInto is OneStep writing into a caller-owned contiguous row-major
+// result matrix; with a retained dst it runs with zero steady-state
+// allocation on the pool's reusable workspaces.
+func OneStepInto(dst mat.View, x *tensor.Dense, u []mat.View, n int, opts Options) mat.View {
+	validate(x, u, n)
+	validateDst(dst, x.Dim(n), rank(u))
+	if isExternal(x, n) {
+		return oneStepExternal(dst, x, u, n, opts)
+	}
+	return oneStepInternal(dst, x, u, n, opts)
+}
+
+// oneStepExtFrame is the workspace-cached state of the external-mode
+// kernel: per-call parameters, per-worker buffers, and the pre-bound worker
+// closure, reused across calls so dispatching allocates nothing.
+type oneStepExtFrame struct {
+	ops      []mat.View
+	xn       mat.View
+	in, c    int
+	t, other int
+	chunk    int
+	kBufs    []mat.View
+	mBufs    []mat.View
+	parts    [][]float64
+	its      []krp.Iter
+	ws       *parallel.Workspace
+	bd       *Breakdown
+	baseKRP  time.Duration
+	baseGEMM time.Duration
+	worker   func(w int)
+}
+
+func newOneStepExtFrame() any {
+	f := &oneStepExtFrame{}
+	f.worker = f.runWorker
+	return f
+}
+
+func (f *oneStepExtFrame) runWorker(w int) {
+	lo0, hi0 := parallel.BlockRange(f.other, f.t, w)
+	if lo0 >= hi0 {
+		return
+	}
+	ar := f.ws.Arena(w)
+	it := &f.its[w]
+	var dKRP, dGEMM time.Duration
+	beta := 0.0 // first chunk overwrites the private accumulator
+	for lo := lo0; lo < hi0; lo += f.chunk {
+		hi := lo + f.chunk
+		if hi > hi0 {
+			hi = hi0
+		}
+		kt := f.kBufs[w].Slice(0, hi-lo, 0, f.c)
+		sw := startWatch()
+		krp.RowsIter(it, f.ops, lo, hi, kt)
+		dKRP += sw.elapsed()
+
+		sw = startWatch()
+		blas.GemmArena(ar, 1, f.xn.Slice(0, f.in, lo, hi), kt, beta, f.mBufs[w])
+		dGEMM += sw.elapsed()
+		beta = 1
+	}
+	f.bd.addMax(PhaseFullKRP, f.baseKRP, dKRP)
+	f.bd.addMax(PhaseGEMM, f.baseGEMM, dGEMM)
+}
+
+// release clears caller references so the pooled workspace does not retain
+// factor or result memory between calls.
+func (f *oneStepExtFrame) release() {
+	f.ops = clearViews(f.ops)
+	f.kBufs = clearViews(f.kBufs)
+	f.mBufs = clearViews(f.mBufs)
+	for i := range f.parts {
+		f.parts[i] = nil
+	}
+	f.parts = f.parts[:0]
+	f.xn = mat.View{}
+	f.ws = nil
+	f.bd = nil
+}
+
+func oneStepExternal(dst mat.View, x *tensor.Dense, u []mat.View, n int, opts Options) mat.View {
 	c := rank(u)
 	in := x.Dim(n)
 	other := x.SizeOther(n)
 	bd := opts.Breakdown
 	t := parallel.Clamp(opts.Threads, other)
+	p := opts.pool()
+	ws := p.Acquire()
+	f := ws.Frame("core.onestep.ext", newOneStepExtFrame).(*oneStepExtFrame)
 
-	ops := operands(u, n)
-	xn := x.Matricize(n)
-	ranges := parallel.Split(other, t)
+	f.ops = appendOperands(f.ops, u, n)
+	f.xn = x.Matricize(n)
+	f.in, f.c, f.t, f.other = in, c, t, other
 
-	// Pre-allocate all private buffers outside the timed phases, as a C
-	// implementation would hoist them out of the benchmark loop. With
-	// KRPChunkRows set, each worker's KRP buffer shrinks to the chunk
-	// size (Vannieuwenhoven-style memory bounding).
-	maxB := ranges[0].Len()
+	// Per-worker private buffers come from the workspace arenas, hoisted
+	// out of the timed phases exactly as a C implementation would hoist
+	// them out of the benchmark loop. With KRPChunkRows set, each worker's
+	// KRP buffer shrinks to the chunk size (Vannieuwenhoven-style memory
+	// bounding). Worker 0 accumulates directly into dst.
+	_, hi0 := parallel.BlockRange(other, t, 0)
 	chunk := opts.KRPChunkRows
-	if chunk <= 0 || chunk > maxB {
-		chunk = maxB
+	if chunk <= 0 || chunk > hi0 {
+		chunk = hi0
 	}
-	kBufs := make([]mat.View, t)
-	mBufs := make([]mat.View, t)
-	parts := make([][]float64, t)
+	f.chunk = chunk
+	for len(f.its) < t {
+		f.its = append(f.its, krp.Iter{})
+	}
 	for w := 0; w < t; w++ {
-		kBufs[w] = mat.NewDense(chunk, c)
-		mBufs[w] = mat.NewDense(in, c)
-		parts[w] = mBufs[w].Data
+		ar := ws.Arena(w)
+		f.kBufs = append(f.kBufs, arenaMat(ar, "core.1s.k", chunk, c))
+		mb := dst
+		if w > 0 {
+			mb = arenaMat(ar, "core.1s.m", in, c)
+		}
+		f.mBufs = append(f.mBufs, mb)
+		f.parts = append(f.parts, mb.Data[:in*c])
 	}
+	f.ws = ws
+	f.bd = bd
 
 	totalW := startWatch()
-	baseKRP := bd.Get(PhaseFullKRP)
-	baseGEMM := bd.Get(PhaseGEMM)
-	parallel.Run(t, func(w int) {
-		r := ranges[w]
-		if r.Len() == 0 {
-			return
-		}
-		var dKRP, dGEMM time.Duration
-		beta := 0.0 // first chunk overwrites the private accumulator
-		for lo := r.Lo; lo < r.Hi; lo += chunk {
-			hi := lo + chunk
-			if hi > r.Hi {
-				hi = r.Hi
-			}
-			kt := kBufs[w].Slice(0, hi-lo, 0, c)
-			sw := startWatch()
-			krp.Rows(ops, lo, hi, kt)
-			dKRP += sw.elapsed()
-
-			sw = startWatch()
-			blas.Gemm(1, 1, xn.Slice(0, in, lo, hi), kt, beta, mBufs[w])
-			dGEMM += sw.elapsed()
-			beta = 1
-		}
-		bd.addMax(PhaseFullKRP, baseKRP, dKRP)
-		bd.addMax(PhaseGEMM, baseGEMM, dGEMM)
-	})
+	f.baseKRP = bd.Get(PhaseFullKRP)
+	f.baseGEMM = bd.Get(PhaseGEMM)
+	p.Run(t, f.worker)
 
 	sw := startWatch()
-	parallel.ReduceSum(t, parts)
+	p.ReduceSum(t, f.parts)
 	bd.add(PhaseReduce, sw.elapsed())
 	bd.addTotal(totalW.elapsed())
-	return mBufs[0]
+	f.release()
+	ws.Release()
+	return dst
 }
 
-func oneStepInternal(x *tensor.Dense, u []mat.View, n int, opts Options) mat.View {
+// oneStepIntFrame is the workspace-cached state of the internal-mode
+// kernel.
+type oneStepIntFrame struct {
+	x        *tensor.Dense
+	n        int
+	rightOps []mat.View
+	leftOps  []mat.View
+	kl       mat.View
+	kBufs    []mat.View
+	mBufs    []mat.View
+	rowBufs  [][]float64
+	idxBufs  [][]int
+	parts    [][]float64
+	ws       *parallel.Workspace
+	bd       *Breakdown
+	baseKRP  time.Duration
+	baseGEMM time.Duration
+	worker   func(w, lo, hi int)
+}
+
+func newOneStepIntFrame() any {
+	f := &oneStepIntFrame{}
+	f.worker = f.runWorker
+	return f
+}
+
+func (f *oneStepIntFrame) runWorker(w, lo, hi int) {
+	ar := f.ws.Arena(w)
+	var dKRP, dGEMM time.Duration
+	for j := lo; j < hi; j++ {
+		sw := startWatch()
+		// K_R(j, :) then the block's KRP rows K_t = K_R(j,:) ⊙ K_L.
+		krp.RowAtInto(f.rightOps, j, f.rowBufs[w], f.idxBufs[w])
+		krp.HadamardExpand(f.rowBufs[w], f.kl, f.kBufs[w])
+		dKRP += sw.elapsed()
+
+		sw = startWatch()
+		blas.GemmArena(ar, 1, f.x.ModeBlock(f.n, j), f.kBufs[w], 1, f.mBufs[w])
+		dGEMM += sw.elapsed()
+	}
+	f.bd.addMax(PhaseLRKRP, f.baseKRP, dKRP)
+	f.bd.addMax(PhaseGEMM, f.baseGEMM, dGEMM)
+}
+
+func (f *oneStepIntFrame) release() {
+	f.rightOps = clearViews(f.rightOps)
+	f.leftOps = clearViews(f.leftOps)
+	f.kBufs = clearViews(f.kBufs)
+	f.mBufs = clearViews(f.mBufs)
+	for i := range f.parts {
+		f.parts[i] = nil
+	}
+	f.parts = f.parts[:0]
+	f.rowBufs = f.rowBufs[:0]
+	f.idxBufs = f.idxBufs[:0]
+	f.kl = mat.View{}
+	f.x = nil
+	f.ws = nil
+	f.bd = nil
+}
+
+func oneStepInternal(dst mat.View, x *tensor.Dense, u []mat.View, n int, opts Options) mat.View {
 	c := rank(u)
 	in := x.Dim(n)
 	il := x.SizeLeft(n)
 	nblk := x.NumModeBlocks(n)
 	bd := opts.Breakdown
 	t := parallel.Clamp(opts.Threads, nblk)
+	p := opts.pool()
+	ws := p.Acquire()
+	f := ws.Frame("core.onestep.int", newOneStepIntFrame).(*oneStepIntFrame)
 
-	leftOps := leftOperands(u, n)
-	rightOps := rightOperands(u, n)
-
-	kl := mat.NewDense(il, c)
-	kBufs := make([]mat.View, t)
-	mBufs := make([]mat.View, t)
-	rowBufs := make([][]float64, t)
-	parts := make([][]float64, t)
+	f.x, f.n = x, n
+	f.leftOps = appendLeftOperands(f.leftOps, u, n)
+	f.rightOps = appendRightOperands(f.rightOps, u, n)
+	f.kl = arenaMat(ws.Arena(0), "core.1s.kl", il, c)
+	clear(dst.Data[:in*c]) // worker 0 accumulates into dst with beta = 1
 	for w := 0; w < t; w++ {
-		kBufs[w] = mat.NewDense(il, c)
-		mBufs[w] = mat.NewDense(in, c)
-		rowBufs[w] = make([]float64, c)
-		parts[w] = mBufs[w].Data
+		ar := ws.Arena(w)
+		f.kBufs = append(f.kBufs, arenaMat(ar, "core.1s.k", il, c))
+		mb := dst
+		if w > 0 {
+			mb = arenaMatZero(ar, "core.1s.m", in, c)
+		}
+		f.mBufs = append(f.mBufs, mb)
+		f.parts = append(f.parts, mb.Data[:in*c])
+		f.rowBufs = append(f.rowBufs, ar.Float64("core.1s.row", c))
+		f.idxBufs = append(f.idxBufs, ar.Ints("core.1s.idx", len(f.rightOps)))
 	}
+	f.ws = ws
+	f.bd = bd
 
 	totalW := startWatch()
 	// Left KRP, computed once in parallel (Algorithm 3, line 11).
 	sw := startWatch()
-	krp.Parallel(t, leftOps, kl)
+	krp.ParallelOn(p, ws, t, f.leftOps, f.kl)
 	bd.add(PhaseLRKRP, sw.elapsed())
 
-	baseKRP := bd.Get(PhaseLRKRP)
-	baseGEMM := bd.Get(PhaseGEMM)
-	worker := func(w, lo, hi int) {
-		var dKRP, dGEMM time.Duration
-		for j := lo; j < hi; j++ {
-			sw := startWatch()
-			// K_R(j, :) then the block's KRP rows K_t = K_R(j,:) ⊙ K_L.
-			krp.RowAt(rightOps, j, rowBufs[w])
-			krp.HadamardExpand(rowBufs[w], kl, kBufs[w])
-			dKRP += sw.elapsed()
-
-			sw = startWatch()
-			blas.Gemm(1, 1, x.ModeBlock(n, j), kBufs[w], 1, mBufs[w])
-			dGEMM += sw.elapsed()
-		}
-		bd.addMax(PhaseLRKRP, baseKRP, dKRP)
-		bd.addMax(PhaseGEMM, baseGEMM, dGEMM)
-	}
+	f.baseKRP = bd.Get(PhaseLRKRP)
+	f.baseGEMM = bd.Get(PhaseGEMM)
 	if opts.DynamicGrain > 0 {
-		parallel.ForDynamic(t, nblk, opts.DynamicGrain, worker)
+		p.ForDynamic(t, nblk, opts.DynamicGrain, f.worker)
 	} else {
-		parallel.For(t, nblk, worker)
+		p.For(t, nblk, f.worker)
 	}
 
 	sw = startWatch()
-	parallel.ReduceSum(t, parts)
+	p.ReduceSum(t, f.parts)
 	bd.add(PhaseReduce, sw.elapsed())
 	bd.addTotal(totalW.elapsed())
-	return mBufs[0]
+	f.release()
+	ws.Release()
+	return dst
 }

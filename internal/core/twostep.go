@@ -24,13 +24,21 @@ import (
 // workers) and across the C columns of the multi-TTV.
 func TwoStep(x *tensor.Dense, u []mat.View, n int, opts Options) mat.View {
 	validate(x, u, n)
+	return TwoStepInto(mat.NewDense(x.Dim(n), rank(u)), x, u, n, opts)
+}
+
+// TwoStepInto is TwoStep writing into a caller-owned contiguous row-major
+// result matrix; all intermediates live in the pool's reusable workspaces.
+func TwoStepInto(dst mat.View, x *tensor.Dense, u []mat.View, n int, opts Options) mat.View {
+	validate(x, u, n)
+	validateDst(dst, x.Dim(n), rank(u))
 	if isExternal(x, n) {
-		return OneStep(x, u, n, opts)
+		return OneStepInto(dst, x, u, n, opts)
 	}
 	if x.SizeLeft(n) > x.SizeRight(n) {
-		return twoStepLeftFirst(x, u, n, opts)
+		return twoStepLeftFirst(dst, x, u, n, opts)
 	}
-	return twoStepRightFirst(x, u, n, opts)
+	return twoStepRightFirst(dst, x, u, n, opts)
 }
 
 // TwoStepLeftFirst forces the left-first ordering regardless of the
@@ -41,7 +49,7 @@ func TwoStepLeftFirst(x *tensor.Dense, u []mat.View, n int, opts Options) mat.Vi
 	if isExternal(x, n) {
 		panic("core: TwoStepLeftFirst requires an internal mode")
 	}
-	return twoStepLeftFirst(x, u, n, opts)
+	return twoStepLeftFirst(mat.NewDense(x.Dim(n), rank(u)), x, u, n, opts)
 }
 
 // TwoStepRightFirst forces the right-first ordering regardless of the
@@ -52,93 +60,143 @@ func TwoStepRightFirst(x *tensor.Dense, u []mat.View, n int, opts Options) mat.V
 	if isExternal(x, n) {
 		panic("core: TwoStepRightFirst requires an internal mode")
 	}
-	return twoStepRightFirst(x, u, n, opts)
+	return twoStepRightFirst(mat.NewDense(x.Dim(n), rank(u)), x, u, n, opts)
+}
+
+// twoStepFrame is the workspace-cached state of the multi-TTV step: the
+// intermediate, the contracted KRP factor and the pre-bound column-loop
+// bodies for both orderings.
+type twoStepFrame struct {
+	inter        mat.View // column-major intermediate (R or L)
+	kv           mat.View // KRP factor contracted in step 2 (K_L or K_R)
+	m            mat.View // result
+	in, sub      int      // mode-n dimension; per-column subtensor size
+	klOps, krOps []mat.View
+	ttvRight     func(w, lo, hi int)
+	ttvLeft      func(w, lo, hi int)
+}
+
+func newTwoStepFrame() any {
+	f := &twoStepFrame{}
+	// Right-first step 2: R_(n)[j] is the row-major I_n × I^L_n
+	// matricization of subtensor j; columns are independent.
+	f.ttvRight = func(_, lo, hi int) {
+		il := f.sub / f.in
+		for j := lo; j < hi; j++ {
+			sub := f.inter.Data[j*f.sub : (j+1)*f.sub]
+			rj := mat.FromRowMajor(sub, f.in, il)
+			blas.Gemv(1, 1, rj, f.kv.Col(j), 0, f.m.Col(j))
+		}
+	}
+	// Left-first step 2: L_(0)[j] is the column-major I_n × I^R_n
+	// mode-0 matricization of subtensor j.
+	f.ttvLeft = func(_, lo, hi int) {
+		ir := f.sub / f.in
+		for j := lo; j < hi; j++ {
+			sub := f.inter.Data[j*f.sub : (j+1)*f.sub]
+			lj := mat.FromColMajor(sub, f.in, ir)
+			blas.Gemv(1, 1, lj, f.kv.Col(j), 0, f.m.Col(j))
+		}
+	}
+	return f
+}
+
+func (f *twoStepFrame) release() {
+	f.inter = mat.View{}
+	f.kv = mat.View{}
+	f.m = mat.View{}
+	f.klOps = clearViews(f.klOps)
+	f.krOps = clearViews(f.krOps)
 }
 
 // twoStepRightFirst computes R_(0:n) = X_(0:n)·K_R, then
 // M(:, j) = R_(n)[j]·K_L(:, j) for each column j (Figures 3a and 3b).
-func twoStepRightFirst(x *tensor.Dense, u []mat.View, n int, opts Options) mat.View {
+func twoStepRightFirst(dst mat.View, x *tensor.Dense, u []mat.View, n int, opts Options) mat.View {
 	c := rank(u)
 	in := x.Dim(n)
 	il := x.SizeLeft(n)
 	ir := x.SizeRight(n)
 	t := parallel.Clamp(opts.Threads, 0)
 	bd := opts.Breakdown
+	p := opts.pool()
+	ws := p.Acquire()
+	ar := ws.Arena(0)
+	f := ws.Frame("core.twostep", newTwoStepFrame).(*twoStepFrame)
 
-	kl := mat.NewDense(il, c)
-	kr := mat.NewDense(ir, c)
+	kl := arenaMat(ar, "core.2s.kl", il, c)
+	kr := arenaMat(ar, "core.2s.kr", ir, c)
 	// R is the (I₀⋯I_n) × C intermediate, column-major so that column j is
 	// the j-th subtensor of the order-(n+2) tensor R in natural layout.
-	r := mat.NewColMajor(il*in, c)
-	m := mat.NewDense(in, c)
+	r := arenaColMajor(ar, "core.2s.inter", il*in, c)
 
 	totalW := startWatch()
 	sw := startWatch()
-	krp.Parallel(t, leftOperands(u, n), kl)
-	krp.Parallel(t, rightOperands(u, n), kr)
+	f.klOps = appendLeftOperands(f.klOps, u, n)
+	f.krOps = appendRightOperands(f.krOps, u, n)
+	krp.ParallelOn(p, ws, t, f.klOps, kl)
+	krp.ParallelOn(p, ws, t, f.krOps, kr)
 	bd.add(PhaseLRKRP, sw.elapsed())
 
 	// Step 1: partial MTTKRP — a single (logical) BLAS call on the
 	// column-major generalized matricization.
 	sw = startWatch()
-	blas.Gemm(t, 1, x.MatricizeRowModes(n), kr, 0, r)
+	blas.GemmOn(p, t, 1, x.MatricizeRowModes(n), kr, 0, r)
 	bd.add(PhaseGEMM, sw.elapsed())
 
-	// Step 2: multi-TTV. R_(n)[j] is the row-major I_n × I^L_n
-	// matricization of subtensor j; columns are independent.
+	// Step 2: multi-TTV over the C independent columns.
 	sw = startWatch()
-	parallel.For(t, c, func(_, lo, hi int) {
-		for j := lo; j < hi; j++ {
-			sub := r.Data[j*il*in : (j+1)*il*in]
-			rj := mat.FromRowMajor(sub, in, il)
-			blas.Gemv(1, 1, rj, kl.Col(j), 0, m.Col(j))
-		}
-	})
+	f.inter, f.kv, f.m = r, kl, dst
+	f.in, f.sub = in, il*in
+	p.For(t, c, f.ttvRight)
 	bd.add(PhaseGEMV, sw.elapsed())
 	bd.addTotal(totalW.elapsed())
-	return m
+	f.release()
+	ws.Release()
+	return dst
 }
 
 // twoStepLeftFirst computes L_(0:N-n-1) = X_(0:n-1)ᵀ·K_L, then
 // M(:, j) = L_(0)[j]·K_R(:, j) for each column j (Figures 3c and 3d).
-func twoStepLeftFirst(x *tensor.Dense, u []mat.View, n int, opts Options) mat.View {
+func twoStepLeftFirst(dst mat.View, x *tensor.Dense, u []mat.View, n int, opts Options) mat.View {
 	c := rank(u)
 	in := x.Dim(n)
 	il := x.SizeLeft(n)
 	ir := x.SizeRight(n)
 	t := parallel.Clamp(opts.Threads, 0)
 	bd := opts.Breakdown
+	p := opts.pool()
+	ws := p.Acquire()
+	ar := ws.Arena(0)
+	f := ws.Frame("core.twostep", newTwoStepFrame).(*twoStepFrame)
 
-	kl := mat.NewDense(il, c)
-	kr := mat.NewDense(ir, c)
+	kl := arenaMat(ar, "core.2s.kl", il, c)
+	kr := arenaMat(ar, "core.2s.kr", ir, c)
 	// L is (I_n⋯I_{N-1}) × C, column-major: column j is subtensor j of the
 	// order-(N-n+1) tensor L in natural layout.
-	l := mat.NewColMajor(in*ir, c)
-	m := mat.NewDense(in, c)
+	l := arenaColMajor(ar, "core.2s.inter", in*ir, c)
 
 	totalW := startWatch()
 	sw := startWatch()
-	krp.Parallel(t, leftOperands(u, n), kl)
-	krp.Parallel(t, rightOperands(u, n), kr)
+	f.klOps = appendLeftOperands(f.klOps, u, n)
+	f.krOps = appendRightOperands(f.krOps, u, n)
+	krp.ParallelOn(p, ws, t, f.klOps, kl)
+	krp.ParallelOn(p, ws, t, f.krOps, kr)
 	bd.add(PhaseLRKRP, sw.elapsed())
 
 	// Step 1: X_(0:n-1) is column-major I^L_n × (I_n⋯I_{N-1}); its
 	// transpose view is row-major, so the GEMM reads contiguous rows.
 	sw = startWatch()
-	blas.Gemm(t, 1, x.MatricizeRowModes(n-1).T(), kl, 0, l)
+	blas.GemmOn(p, t, 1, x.MatricizeRowModes(n-1).T(), kl, 0, l)
 	bd.add(PhaseGEMM, sw.elapsed())
 
-	// Step 2: multi-TTV. L_(0)[j] is the column-major I_n × I^R_n
-	// mode-0 matricization of subtensor j.
+	// Step 2: multi-TTV over the C independent columns.
 	sw = startWatch()
-	parallel.For(t, c, func(_, lo, hi int) {
-		for j := lo; j < hi; j++ {
-			sub := l.Data[j*in*ir : (j+1)*in*ir]
-			lj := mat.FromColMajor(sub, in, ir)
-			blas.Gemv(1, 1, lj, kr.Col(j), 0, m.Col(j))
-		}
-	})
+	f.inter, f.kv, f.m = l, kr, dst
+	f.in, f.sub = in, in*ir
+	p.For(t, c, f.ttvLeft)
 	bd.add(PhaseGEMV, sw.elapsed())
 	bd.addTotal(totalW.elapsed())
-	return m
+	f.release()
+	ws.Release()
+	return dst
 }

@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/la"
 	"repro/internal/mat"
+	"repro/internal/parallel"
 	"repro/internal/tensor"
 )
 
@@ -46,6 +47,12 @@ type Config struct {
 	// (Section 6): each ALS sweep costs two passes over the tensor
 	// instead of N, with identical results. When set, Method is ignored.
 	MultiSweep bool
+	// Pool, when non-nil, is the persistent worker pool all kernels of
+	// the run execute on; nil uses the process-wide default pool. A full
+	// ALS run reuses this one pool and its workspaces for every MTTKRP,
+	// so sweeps allocate no kernel scratch in steady state. Concurrent
+	// decompositions should use one pool each.
+	Pool *parallel.Pool
 }
 
 func (c Config) withDefaults() Config {
@@ -124,14 +131,27 @@ func ALS(x *tensor.Dense, cfg Config) (*Result, error) {
 		Threads:          cfg.Threads,
 		Breakdown:        cfg.Breakdown,
 		BlasOnlyParallel: cfg.BlasOnlyParallel,
+		Pool:             cfg.Pool,
 	}
 	normX := x.Norm(cfg.Threads)
 	normX2 := normX * normX
 
+	// Per-mode MTTKRP result buffers, reused across sweeps so the hot loop
+	// runs on one pool and one workspace set with no steady-state
+	// allocation inside the kernels. The MultiSweep path derives its
+	// results inside SweepAll and never uses these.
+	var dsts []mat.View
+	if !cfg.MultiSweep {
+		dsts = make([]mat.View, n)
+		for i := 0; i < n; i++ {
+			dsts[i] = mat.NewDense(x.Dim(i), c)
+		}
+	}
+
 	// Cache Gram matrices of every factor.
 	grams := make([]mat.View, n)
 	for i := 0; i < n; i++ {
-		grams[i] = gram(cfg.Threads, k.Factors[i])
+		grams[i] = gramOn(cfg.Pool, cfg.Threads, k.Factors[i])
 	}
 
 	res := &Result{K: k}
@@ -147,13 +167,13 @@ func ALS(x *tensor.Dense, cfg Config) (*Result, error) {
 			u := la.PinvSolveGram(h, m)
 			normalizeColumns(u, k.Lambda, iter == 0)
 			k.Factors[mode] = u
-			grams[mode] = gram(cfg.Threads, u)
+			grams[mode] = gramOn(cfg.Pool, cfg.Threads, u)
 		}
 		if cfg.MultiSweep {
 			core.SweepAll(x, k.Factors, opts, updateMode)
 		} else {
 			for mode := 0; mode < n; mode++ {
-				updateMode(mode, core.Compute(cfg.Method, x, k.Factors, mode, opts))
+				updateMode(mode, core.ComputeInto(dsts[mode], cfg.Method, x, k.Factors, mode, opts))
 			}
 		}
 		res.IterTimes = append(res.IterTimes, time.Since(start))

@@ -56,11 +56,15 @@ func NNALS(x *tensor.Dense, cfg Config) (*Result, error) {
 		k = RandomKTensor(rng, x.Dims(), c) // uniform [0,1): already nonnegative
 	}
 
-	opts := core.Options{Threads: cfg.Threads, Breakdown: cfg.Breakdown}
+	opts := core.Options{Threads: cfg.Threads, Breakdown: cfg.Breakdown, Pool: cfg.Pool}
 	normX := x.Norm(cfg.Threads)
+	dsts := make([]mat.View, n)
+	for i := 0; i < n; i++ {
+		dsts[i] = mat.NewDense(x.Dim(i), c)
+	}
 	grams := make([]mat.View, n)
 	for i := 0; i < n; i++ {
-		grams[i] = gram(cfg.Threads, k.Factors[i])
+		grams[i] = gramOn(cfg.Pool, cfg.Threads, k.Factors[i])
 	}
 
 	res := &Result{K: k}
@@ -70,7 +74,7 @@ func NNALS(x *tensor.Dense, cfg Config) (*Result, error) {
 	for iter := 0; iter < cfg.MaxIters; iter++ {
 		start := time.Now()
 		for mode := 0; mode < n; mode++ {
-			m := core.Compute(cfg.Method, x, k.Factors, mode, opts)
+			m := core.ComputeInto(dsts[mode], cfg.Method, x, k.Factors, mode, opts)
 			if mode == n-1 {
 				mLast.CopyFrom(m)
 			}
@@ -98,7 +102,7 @@ func NNALS(x *tensor.Dense, cfg Config) (*Result, error) {
 					}
 				}
 			}
-			grams[mode] = gram(cfg.Threads, u)
+			grams[mode] = gramOn(cfg.Pool, cfg.Threads, u)
 		}
 		res.IterTimes = append(res.IterTimes, time.Since(start))
 		res.Iters = iter + 1

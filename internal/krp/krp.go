@@ -55,9 +55,10 @@ func checkOperands(mats []mat.View, out mat.View) (rows, cols int) {
 // sequentially using Algorithm 1 (reuse of partial Hadamard products).
 func Full(mats []mat.View, out mat.View) {
 	rows, _ := checkOperands(mats, out)
-	it := newIterator(mats, 0)
+	var it Iter
+	it.Reset(mats, 0)
 	for j := 0; j < rows; j++ {
-		it.next(out.ContiguousRow(j))
+		it.Next(out.ContiguousRow(j))
 	}
 }
 
@@ -66,6 +67,15 @@ func Full(mats []mat.View, out mat.View) {
 // parallel variant and of the 1-step algorithm's external-mode threads,
 // which each need only their own row block of K.
 func Rows(mats []mat.View, lo, hi int, out mat.View) {
+	var it Iter
+	RowsIter(&it, mats, lo, hi, out)
+}
+
+// RowsIter is Rows with caller-owned iterator state: resetting a retained
+// Iter reuses its multi-index and partial-product storage, so streaming a
+// row block allocates nothing after the first use. The 1-step algorithm's
+// workers keep one Iter per worker in their workspace arena.
+func RowsIter(it *Iter, mats []mat.View, lo, hi int, out mat.View) {
 	if lo < 0 || hi < lo || hi > NumRows(mats) {
 		panic(fmt.Sprintf("krp: row range [%d,%d) out of bounds", lo, hi))
 	}
@@ -78,9 +88,9 @@ func Rows(mats []mat.View, lo, hi int, out mat.View) {
 	if out.CS != 1 || out.RS != out.C {
 		panic("krp: output must be contiguous row-major")
 	}
-	it := newIterator(mats, lo)
+	it.Reset(mats, lo)
 	for j := 0; j < hi-lo; j++ {
-		it.next(out.ContiguousRow(j))
+		it.Next(out.ContiguousRow(j))
 	}
 }
 
@@ -91,11 +101,48 @@ func Rows(mats []mat.View, lo, hi int, out mat.View) {
 func Parallel(t int, mats []mat.View, out mat.View) {
 	rows, _ := checkOperands(mats, out)
 	parallel.For(t, rows, func(_, lo, hi int) {
-		it := newIterator(mats, lo)
+		var it Iter
+		it.Reset(mats, lo)
 		for j := lo; j < hi; j++ {
-			it.next(out.ContiguousRow(j))
+			it.Next(out.ContiguousRow(j))
 		}
 	})
+}
+
+// parallelFrame is the reusable dispatch state of ParallelOn; it lives in a
+// Workspace so repeated calls reuse one closure and per-worker iterators.
+type parallelFrame struct {
+	mats []mat.View
+	out  mat.View
+	its  []Iter
+	body func(w, lo, hi int)
+}
+
+func newParallelFrame() any {
+	f := &parallelFrame{}
+	f.body = func(w, lo, hi int) {
+		it := &f.its[w]
+		it.Reset(f.mats, lo)
+		for j := lo; j < hi; j++ {
+			it.Next(f.out.ContiguousRow(j))
+		}
+	}
+	return f
+}
+
+// ParallelOn is Parallel executed on an explicit pool with workspace-cached
+// per-worker iterator state: in steady state it allocates nothing. ws must
+// be a workspace of p that the caller currently owns.
+func ParallelOn(p *parallel.Pool, ws *parallel.Workspace, t int, mats []mat.View, out mat.View) {
+	rows, _ := checkOperands(mats, out)
+	t = parallel.Clamp(t, rows)
+	f := ws.Frame("krp.parallel", newParallelFrame).(*parallelFrame)
+	for len(f.its) < t {
+		f.its = append(f.its, Iter{})
+	}
+	f.mats, f.out = mats, out
+	p.For(t, rows, f.body)
+	f.mats, f.out = nil, mat.View{}
 }
 
 // Naive computes the KRP row-wise without reuse: every row performs Z-1
@@ -132,8 +179,13 @@ func Row(mats []mat.View, l []int, out []float64) {
 
 // RowAt computes KRP row j directly from the flat row index.
 func RowAt(mats []mat.View, j int, out []float64) {
-	l := decompose(mats, j, make([]int, len(mats)))
-	Row(mats, l, out)
+	RowAtInto(mats, j, out, make([]int, len(mats)))
+}
+
+// RowAtInto is RowAt with a caller-owned multi-index buffer l (length ≥
+// len(mats)), so hot block loops can compute KRP rows without allocating.
+func RowAtInto(mats []mat.View, j int, out []float64, l []int) {
+	Row(mats, decompose(mats, j, l[:len(mats)]), out)
 }
 
 // HadamardExpand computes out = row ⊙ kl in the Khatri-Rao sense of a
@@ -173,34 +225,45 @@ func incrementMultiIndex(mats []mat.View, l []int) int {
 	return 0
 }
 
-// iterator streams KRP rows from an arbitrary starting row, maintaining
-// the Z-2 partial Hadamard products P of Algorithm 1. P[w] is the product
-// of rows 0..w+1 of the operand list (the slow indices); each output row
-// is one Hadamard product of P[Z-3] with the fastest operand's row.
-type iterator struct {
+// Iter streams KRP rows from an arbitrary starting row, maintaining the
+// Z-2 partial Hadamard products P of Algorithm 1. P[w] is the product of
+// rows 0..w+1 of the operand list (the slow indices); each output row is
+// one Hadamard product of P[Z-3] with the fastest operand's row.
+//
+// The zero Iter is ready for Reset. Its multi-index and partial-product
+// storage grows monotonically and is reused across Resets, so a retained
+// Iter streams row blocks without allocating.
+type Iter struct {
 	mats []mat.View
 	l    []int
+	pbuf []float64
 	p    mat.View // (Z-2) × C partial products
 	cols int
-	// fresh tracks whether p rows are valid; after construction they are.
 }
 
-func newIterator(mats []mat.View, startRow int) *iterator {
-	it := &iterator{
-		mats: mats,
-		l:    decompose(mats, startRow, make([]int, len(mats))),
-		cols: mats[0].C,
+// Reset positions the iterator at startRow of the KRP of mats, reusing any
+// scratch storage from previous use.
+func (it *Iter) Reset(mats []mat.View, startRow int) {
+	z := len(mats)
+	it.mats = mats
+	it.cols = mats[0].C
+	if cap(it.l) < z {
+		it.l = make([]int, z)
 	}
-	if z := len(mats); z >= 3 {
-		it.p = mat.NewDense(z-2, it.cols)
+	it.l = decompose(mats, startRow, it.l[:z])
+	it.p = mat.View{}
+	if z >= 3 {
+		if need := (z - 2) * it.cols; cap(it.pbuf) < need {
+			it.pbuf = make([]float64, need)
+		}
+		it.p = mat.FromRowMajor(it.pbuf[:(z-2)*it.cols], z-2, it.cols)
 		it.rebuildFrom(0)
 	}
-	return it
 }
 
 // rebuildFrom recomputes partial products P[w] for w ≥ max(z-1, 0), where
 // z is the smallest operand index whose row changed.
-func (it *iterator) rebuildFrom(z int) {
+func (it *Iter) rebuildFrom(z int) {
 	w := z - 1
 	if w < 0 {
 		w = 0
@@ -215,8 +278,8 @@ func (it *iterator) rebuildFrom(z int) {
 	}
 }
 
-// next writes the current row into out and advances the iterator.
-func (it *iterator) next(out []float64) {
+// Next writes the current row into out and advances the iterator.
+func (it *Iter) Next(out []float64) {
 	z := len(it.mats)
 	last := it.mats[z-1].ContiguousRow(it.l[z-1])
 	switch z {

@@ -3,12 +3,16 @@
 // a fixed number of workers, per-worker private buffers, and parallel
 // reductions. It mirrors the OpenMP "parallel for" + private accumulator +
 // reduction structure of the paper's Algorithm 3 using goroutines.
+//
+// Execution is built on persistent worker pools (see Pool): workers are
+// spawned once and reused across parallel regions, and kernels lease
+// per-worker scratch arenas from reusable Workspaces, so steady-state
+// dispatch allocates nothing. The package-level For, Run, ForDynamic and
+// ReduceSum are thin wrappers over a lazily-created default pool, which
+// keeps every historical call site working unchanged.
 package parallel
 
-import (
-	"runtime"
-	"sync"
-)
+import "runtime"
 
 // DefaultThreads returns the default worker count, the number of CPUs the
 // runtime will schedule on (GOMAXPROCS).
@@ -67,33 +71,9 @@ func Split(n, t int) []Range {
 // contiguous block. body receives the worker index (0 ≤ worker < t) and its
 // half-open range. It blocks until all workers finish. With t == 1 the body
 // runs on the calling goroutine, so sequential code paths pay no scheduling
-// cost.
+// cost. Parallel execution happens on the default persistent pool.
 func For(t, n int, body func(worker, lo, hi int)) {
-	t = Clamp(t, n)
-	if n <= 0 {
-		return
-	}
-	if t == 1 {
-		body(0, 0, n)
-		return
-	}
-	ranges := Split(n, t)
-	var wg sync.WaitGroup
-	for w := 1; w < t; w++ {
-		r := ranges[w]
-		if r.Len() == 0 {
-			continue
-		}
-		wg.Add(1)
-		go func(w int, r Range) {
-			defer wg.Done()
-			body(w, r.Lo, r.Hi)
-		}(w, r)
-	}
-	if ranges[0].Len() > 0 {
-		body(0, ranges[0].Lo, ranges[0].Hi)
-	}
-	wg.Wait()
+	Default().For(t, n, body)
 }
 
 // ForDynamic executes body over [0, n) with t workers pulling indices in
@@ -101,91 +81,21 @@ func For(t, n int, body func(worker, lo, hi int)) {
 // work is irregular (for example internal-mode 1-step MTTKRP when I^R_n is
 // barely larger than the worker count).
 func ForDynamic(t, n, chunk int, body func(worker, lo, hi int)) {
-	t = Clamp(t, n)
-	if n <= 0 {
-		return
-	}
-	if chunk < 1 {
-		chunk = 1
-	}
-	if t == 1 {
-		body(0, 0, n)
-		return
-	}
-	var mu sync.Mutex
-	next := 0
-	take := func() (int, int, bool) {
-		mu.Lock()
-		defer mu.Unlock()
-		if next >= n {
-			return 0, 0, false
-		}
-		lo := next
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		next = hi
-		return lo, hi, true
-	}
-	var wg sync.WaitGroup
-	wg.Add(t)
-	for w := 0; w < t; w++ {
-		go func(w int) {
-			defer wg.Done()
-			for {
-				lo, hi, ok := take()
-				if !ok {
-					return
-				}
-				body(w, lo, hi)
-			}
-		}(w)
-	}
-	wg.Wait()
+	Default().ForDynamic(t, n, chunk, body)
 }
 
 // Run launches t copies of body concurrently, one per worker, and waits.
 // It is the "parallel region" primitive: each worker decides its own work
 // from its index.
 func Run(t int, body func(worker int)) {
-	if t <= 0 {
-		t = DefaultThreads()
-	}
-	if t == 1 {
-		body(0)
-		return
-	}
-	var wg sync.WaitGroup
-	for w := 1; w < t; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			body(w)
-		}(w)
-	}
-	body(0)
-	wg.Wait()
+	Default().Run(t, body)
 }
 
 // ReduceSum accumulates the per-worker buffers parts[1:] into parts[0] and
 // returns parts[0]. The element-range of the reduction is itself
 // parallelized over t workers, mirroring the parallel reduction at the end
-// of Algorithm 3. All buffers must have equal length.
+// of Algorithm 3. All buffers must have equal length; a length mismatch
+// panics immediately instead of corrupting the accumulator.
 func ReduceSum(t int, parts [][]float64) []float64 {
-	if len(parts) == 0 {
-		return nil
-	}
-	dst := parts[0]
-	if len(parts) == 1 {
-		return dst
-	}
-	For(t, len(dst), func(_, lo, hi int) {
-		for _, p := range parts[1:] {
-			for i := lo; i < hi; i++ {
-				dst[i] += p[i]
-			}
-		}
-	})
-	return dst
+	return Default().ReduceSum(t, parts)
 }

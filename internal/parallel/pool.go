@@ -1,0 +1,327 @@
+package parallel
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a persistent fork-join worker team, the goroutine analogue of an
+// OpenMP thread pool. Workers are spawned once and then sleep on per-worker
+// channels between parallel regions, so a kernel that issues thousands of
+// For/Run dispatches per second (CP-ALS does) pays no goroutine-creation
+// cost in steady state. The calling goroutine always acts as worker 0, so a
+// dispatch of width t wakes only t-1 workers.
+//
+// A pool executes one parallel region at a time: concurrent dispatches from
+// different goroutines serialize on an internal mutex. Bodies must not
+// dispatch on the pool that is executing them (that would deadlock);
+// sequential helpers such as blas.GemmArena exist for exactly that reason.
+// Concurrent requests that each want full parallelism should use one Pool
+// per request.
+//
+// Pools also own reusable Workspaces (see Acquire), so the scratch memory
+// of a kernel survives across calls and steady-state execution allocates
+// nothing.
+type Pool struct {
+	mu     sync.Mutex // serializes dispatches and worker growth
+	chans  []chan job // chans[w] feeds persistent worker w (w ≥ 1); chans[0] is nil
+	wg     sync.WaitGroup
+	next   atomic.Int64 // shared chunk counter for dynamic scheduling
+	spawn  bool         // spawn-per-call baseline mode (benchmarks)
+	closed bool
+
+	wsMu sync.Mutex
+	free []*Workspace
+}
+
+// jobKind selects the worker-side interpretation of a job.
+type jobKind uint8
+
+const (
+	jobRun jobKind = iota
+	jobFor
+	jobForDynamic
+	jobReduce
+)
+
+// job describes one parallel region. It is passed by value over the worker
+// channels so dispatching allocates nothing.
+type job struct {
+	kind  jobKind
+	body1 func(worker int)
+	body3 func(worker, lo, hi int)
+	n     int
+	t     int
+	chunk int
+	next  *atomic.Int64
+	parts [][]float64
+	wg    *sync.WaitGroup
+}
+
+// run executes the portion of the job owned by worker w.
+func (j *job) run(w int) {
+	switch j.kind {
+	case jobRun:
+		j.body1(w)
+	case jobFor:
+		lo, hi := BlockRange(j.n, j.t, w)
+		if lo < hi {
+			j.body3(w, lo, hi)
+		}
+	case jobForDynamic:
+		for {
+			hi := int(j.next.Add(int64(j.chunk)))
+			lo := hi - j.chunk
+			if lo >= j.n {
+				return
+			}
+			if hi > j.n {
+				hi = j.n
+			}
+			j.body3(w, lo, hi)
+		}
+	case jobReduce:
+		dst := j.parts[0]
+		lo, hi := BlockRange(len(dst), j.t, w)
+		for _, p := range j.parts[1:] {
+			for i := lo; i < hi; i++ {
+				dst[i] += p[i]
+			}
+		}
+	}
+}
+
+// BlockRange returns the half-open range [lo, hi) of worker w under the
+// static block schedule that Split uses: t contiguous ranges over [0, n)
+// whose sizes differ by at most one. It is the allocation-free form of
+// Split(n, t)[w].
+func BlockRange(n, t, w int) (lo, hi int) {
+	base := n / t
+	rem := n % t
+	lo = w * base
+	if w < rem {
+		lo += w
+	} else {
+		lo += rem
+	}
+	hi = lo + base
+	if w < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// NewPool creates a pool with the given number of persistent workers;
+// workers <= 0 selects DefaultThreads. The pool can still execute wider
+// dispatches: it grows (spawning more persistent workers) on demand.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = DefaultThreads()
+	}
+	p := &Pool{chans: make([]chan job, 1, workers)} // slot 0: the caller
+	p.mu.Lock()
+	p.grow(workers)
+	p.mu.Unlock()
+	return p
+}
+
+// NewSpawnPool creates a pool that spawns fresh goroutines on every
+// dispatch instead of keeping a persistent team. It is the spawn-per-call
+// baseline the benchmarks compare the persistent runtime against; the
+// workspace machinery behaves identically.
+func NewSpawnPool() *Pool {
+	return &Pool{spawn: true}
+}
+
+var defaultPool struct {
+	once sync.Once
+	p    *Pool
+}
+
+// Default returns the lazily-created process-wide pool used by the
+// package-level For, Run, ForDynamic and ReduceSum wrappers. It is sized to
+// DefaultThreads and never closed.
+func Default() *Pool {
+	defaultPool.once.Do(func() { defaultPool.p = NewPool(0) })
+	return defaultPool.p
+}
+
+// Workers returns the current number of persistent workers (including the
+// caller slot 0); it is the natural dispatch width of the pool.
+func (p *Pool) Workers() int {
+	if p.spawn {
+		return DefaultThreads()
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.chans)
+}
+
+// grow ensures the pool has at least t worker slots. Callers hold p.mu.
+func (p *Pool) grow(t int) {
+	if p.closed {
+		panic("parallel: dispatch on a closed Pool")
+	}
+	for len(p.chans) < t {
+		ch := make(chan job, 1)
+		p.chans = append(p.chans, ch)
+		go workerLoop(len(p.chans)-1, ch)
+	}
+}
+
+// workerLoop is the body of one persistent worker goroutine.
+func workerLoop(w int, ch chan job) {
+	for j := range ch {
+		j.run(w)
+		j.wg.Done()
+	}
+}
+
+// dispatch fans the job out to workers 1..t-1, runs worker 0 on the calling
+// goroutine, and waits for the barrier. The pool mutex is held for the
+// whole region, serializing overlapping dispatches.
+func (p *Pool) dispatch(j job) {
+	if p.spawn {
+		// Kept out of line so that j only escapes to the heap on the
+		// spawn-per-call baseline, not on pooled dispatches.
+		dispatchSpawn(j)
+		return
+	}
+	p.mu.Lock()
+	p.grow(j.t)
+	if j.kind == jobForDynamic {
+		// The shared chunk counter is reset here, under the dispatch
+		// mutex: a concurrent ForDynamic on the same pool must not observe
+		// (or clobber) another region's counter.
+		j.next.Store(0)
+	}
+	p.wg.Add(j.t - 1)
+	j.wg = &p.wg
+	for w := 1; w < j.t; w++ {
+		p.chans[w] <- j
+	}
+	j.run(0)
+	p.wg.Wait()
+	p.mu.Unlock()
+}
+
+// dispatchSpawn runs the job with freshly spawned goroutines — the
+// per-call worker creation the persistent pool exists to avoid.
+func dispatchSpawn(j job) {
+	var wg sync.WaitGroup
+	wg.Add(j.t - 1)
+	for w := 1; w < j.t; w++ {
+		go func(w int) {
+			defer wg.Done()
+			j.run(w)
+		}(w)
+	}
+	j.run(0)
+	wg.Wait()
+}
+
+// Close terminates the persistent workers and drops the pool's cached
+// workspaces (releasing their arena memory to the garbage collector). The
+// pool must be idle; any later dispatch panics. Closing the default pool
+// is not allowed.
+func (p *Pool) Close() {
+	if p == defaultPool.p {
+		panic("parallel: cannot close the default pool")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.wsMu.Lock()
+	p.free = nil // drop cached workspaces so their arenas can be collected
+	p.wsMu.Unlock()
+	if p.closed || len(p.chans) == 0 {
+		return // spawn pools (and already-closed pools) have no workers
+	}
+	p.closed = true
+	for _, ch := range p.chans[1:] {
+		close(ch)
+	}
+	p.chans = p.chans[:1]
+}
+
+// Run launches t copies of body, one per worker, and waits — the "parallel
+// region" primitive, identical in semantics to the package-level Run but
+// executed on the pool's persistent workers.
+func (p *Pool) Run(t int, body func(worker int)) {
+	if t <= 0 {
+		t = DefaultThreads()
+	}
+	if t == 1 {
+		body(0)
+		return
+	}
+	p.dispatch(job{kind: jobRun, body1: body, t: t})
+}
+
+// For executes body over [0, n) with t workers, each owning one contiguous
+// block (the static schedule of Split). With t == 1 the body runs inline on
+// the calling goroutine.
+func (p *Pool) For(t, n int, body func(worker, lo, hi int)) {
+	t = Clamp(t, n)
+	if n <= 0 {
+		return
+	}
+	if t == 1 {
+		body(0, 0, n)
+		return
+	}
+	p.dispatch(job{kind: jobFor, body3: body, n: n, t: t})
+}
+
+// ForDynamic executes body over [0, n) with t workers pulling chunks of the
+// given size from a shared atomic counter (the dynamic schedule).
+func (p *Pool) ForDynamic(t, n, chunk int, body func(worker, lo, hi int)) {
+	t = Clamp(t, n)
+	if n <= 0 {
+		return
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	if t == 1 {
+		body(0, 0, n)
+		return
+	}
+	if p.spawn {
+		var next atomic.Int64
+		p.dispatch(job{kind: jobForDynamic, body3: body, n: n, t: t, chunk: chunk, next: &next})
+		return
+	}
+	// The shared counter lives on the pool (allocation-free); dispatch
+	// resets it under the region mutex.
+	p.dispatch(job{kind: jobForDynamic, body3: body, n: n, t: t, chunk: chunk, next: &p.next})
+}
+
+// ReduceSum accumulates parts[1:] into parts[0] in parallel and returns
+// parts[0]. All buffers must have equal length; a mismatch panics up front
+// rather than corrupting data mid-reduction.
+func (p *Pool) ReduceSum(t int, parts [][]float64) []float64 {
+	if len(parts) == 0 {
+		return nil
+	}
+	dst := parts[0]
+	for i, q := range parts[1:] {
+		if len(q) != len(dst) {
+			panic(fmt.Sprintf("parallel: ReduceSum buffer %d has length %d, want %d", i+1, len(q), len(dst)))
+		}
+	}
+	if len(parts) == 1 || len(dst) == 0 {
+		return dst
+	}
+	t = Clamp(t, len(dst))
+	if t == 1 {
+		for _, q := range parts[1:] {
+			for i, v := range q {
+				dst[i] += v
+			}
+		}
+		return dst
+	}
+	p.dispatch(job{kind: jobReduce, parts: parts, t: t})
+	return dst
+}

@@ -1,0 +1,99 @@
+package parallel
+
+// Workspace is a reusable set of per-worker scratch arenas plus cached
+// kernel state ("frames"). Kernels acquire a workspace from a pool at entry
+// and release it on exit; the free-list hands the same workspace back on
+// the next call, so a steady stream of same-shaped kernel invocations
+// allocates nothing after warmup — the goroutine analogue of OpenMP
+// threadprivate buffers that live for the whole program.
+//
+// A workspace is owned by exactly one computation at a time. During a
+// dispatch, arena w may be touched only by worker w (the dispatch barrier
+// orders those accesses against the coordinator's).
+type Workspace struct {
+	pool   *Pool
+	arenas []*Arena
+	frames map[string]any
+}
+
+// Acquire returns a workspace from the pool's free-list, or a fresh one if
+// none is available. Pair it with Release.
+func (p *Pool) Acquire() *Workspace {
+	p.wsMu.Lock()
+	if n := len(p.free); n > 0 {
+		ws := p.free[n-1]
+		p.free = p.free[:n-1]
+		p.wsMu.Unlock()
+		return ws
+	}
+	p.wsMu.Unlock()
+	return &Workspace{pool: p, frames: make(map[string]any)}
+}
+
+// Release returns the workspace to its pool for reuse. The caller must not
+// touch the workspace (or any buffer obtained from it) afterwards.
+func (ws *Workspace) Release() {
+	p := ws.pool
+	p.wsMu.Lock()
+	p.free = append(p.free, ws)
+	p.wsMu.Unlock()
+}
+
+// Arena returns worker w's scratch arena, creating arenas on demand.
+func (ws *Workspace) Arena(w int) *Arena {
+	for len(ws.arenas) <= w {
+		ws.arenas = append(ws.arenas, &Arena{})
+	}
+	return ws.arenas[w]
+}
+
+// Frame returns the cached kernel state registered under key, building it
+// with build on first use. Kernels store their per-call parameter blocks
+// and pre-bound worker closures in frames so repeated dispatches reuse one
+// heap object instead of allocating closures per call.
+func (ws *Workspace) Frame(key string, build func() any) any {
+	f, ok := ws.frames[key]
+	if !ok {
+		f = build()
+		ws.frames[key] = f
+	}
+	return f
+}
+
+// Arena is one worker's tag-addressed scratch allocator. Buffers are keyed
+// by purpose tag and grow monotonically, so repeated same-shape kernel
+// calls always get the same backing memory back. Returned buffers contain
+// whatever the previous use left in them; callers that need zeroed memory
+// must clear them.
+type Arena struct {
+	f64  map[string][]float64
+	ints map[string][]int
+}
+
+// Float64 returns a length-n float64 scratch slice for tag, reusing (and if
+// needed growing) the slice previously returned for the same tag.
+func (a *Arena) Float64(tag string, n int) []float64 {
+	if a.f64 == nil {
+		a.f64 = make(map[string][]float64)
+	}
+	s := a.f64[tag]
+	if cap(s) < n {
+		s = make([]float64, n)
+		a.f64[tag] = s
+	}
+	return s[:n:n]
+}
+
+// Ints returns a length-n int scratch slice for tag, with the same reuse
+// contract as Float64.
+func (a *Arena) Ints(tag string, n int) []int {
+	if a.ints == nil {
+		a.ints = make(map[string][]int)
+	}
+	s := a.ints[tag]
+	if cap(s) < n {
+		s = make([]int, n)
+		a.ints[tag] = s
+	}
+	return s[:n:n]
+}

@@ -38,12 +38,20 @@ func Multiply(t int, x *tensor.Dense, n int, m mat.View) *tensor.Dense {
 	// a C × I^L_n row-major submatrix at offset j·C·I^L_n.
 	ydata := y.Data()
 	mt := m.T()
-	parallel.For(t, nblk, func(_, lo, hi int) {
+	// One workspace for the whole multiply: each worker packs its block
+	// GEMMs from its own arena instead of taking the pool's workspace lock
+	// once per block.
+	p := parallel.Default()
+	ws := p.Acquire()
+	ws.Arena(parallel.Clamp(t, nblk) - 1) // pre-grow arenas before the dispatch
+	p.For(t, nblk, func(w, lo, hi int) {
+		ar := ws.Arena(w)
 		for j := lo; j < hi; j++ {
 			yblk := mat.FromRowMajor(ydata[j*c*il:(j+1)*c*il], c, il)
-			blas.Gemm(1, 1, mt, x.ModeBlock(n, j), 0, yblk)
+			blas.GemmArena(ar, 1, mt, x.ModeBlock(n, j), 0, yblk)
 		}
 	})
+	ws.Release()
 	return y
 }
 

@@ -1,0 +1,62 @@
+package repro_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro"
+)
+
+// TestMTTKRPIntoOnPrivatePool exercises the public pool API end to end:
+// a per-request pool, the steady-state MTTKRPInto entry point, and result
+// agreement with the allocating API across methods and modes.
+func TestMTTKRPIntoOnPrivatePool(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	x := repro.RandomTensor(rng, 12, 9, 10, 8)
+	const c = 5
+	factors := make([]repro.Matrix, x.Order())
+	for k := range factors {
+		factors[k] = repro.RandomMatrix(x.Dim(k), c, rng)
+	}
+	pool := repro.NewPool(3)
+	defer pool.Close()
+
+	for _, method := range []repro.Method{repro.MethodAuto, repro.MethodOneStep, repro.MethodTwoStep, repro.MethodReorder} {
+		for n := 0; n < x.Order(); n++ {
+			want := repro.MTTKRPWith(method, x, factors, n, repro.MTTKRPOptions{Threads: 2})
+			dst := repro.NewMatrix(x.Dim(n), c)
+			got := repro.MTTKRPInto(dst, method, x, factors, n, repro.MTTKRPOptions{Threads: 3, Pool: pool})
+			if &got.Data[0] != &dst.Data[0] {
+				t.Fatalf("method %v mode %d: MTTKRPInto did not write through dst", method, n)
+			}
+			for i := 0; i < want.R; i++ {
+				for j := 0; j < want.C; j++ {
+					diff := got.At(i, j) - want.At(i, j)
+					if diff > 1e-10 || diff < -1e-10 {
+						t.Fatalf("method %v mode %d: mismatch at (%d,%d): %g vs %g",
+							method, n, i, j, got.At(i, j), want.At(i, j))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCPOnPrivatePool runs a small CP-ALS decomposition entirely on a
+// dedicated pool (the per-request serving pattern).
+func TestCPOnPrivatePool(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := repro.RandomTensor(rng, 14, 12, 10)
+	pool := repro.NewPool(2)
+	defer pool.Close()
+	res, err := repro.CP(x, repro.CPConfig{Rank: 3, MaxIters: 4, Tol: -1, Threads: 2, Pool: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iters != 4 {
+		t.Fatalf("ran %d sweeps, want 4", res.Iters)
+	}
+	if res.Fit <= 0 || res.Fit > 1 {
+		t.Fatalf("fit %v out of range", res.Fit)
+	}
+}

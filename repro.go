@@ -28,6 +28,7 @@ import (
 	"repro/internal/cpd"
 	"repro/internal/krp"
 	"repro/internal/mat"
+	"repro/internal/parallel"
 	"repro/internal/tensor"
 	"repro/internal/ttm"
 	"repro/internal/tucker"
@@ -95,6 +96,16 @@ func RandomMatrix(rows, cols int, rng *rand.Rand) Matrix {
 	return mat.RandomDense(rows, cols, rng)
 }
 
+// Pool is a persistent fork-join worker team with reusable per-worker
+// workspaces — the runtime all kernels execute on. The zero value of
+// MTTKRPOptions/CPConfig uses a shared process-wide pool; create one Pool
+// per concurrent request (and Close it when done) to isolate workloads.
+type Pool = parallel.Pool
+
+// NewPool creates a pool with the given number of persistent workers
+// (0 = GOMAXPROCS). Close it when no longer needed.
+func NewPool(workers int) *Pool { return parallel.NewPool(workers) }
+
 // MTTKRP computes M = X_(n) · (U_{N-1} ⊙ ⋯ ⊙ U_{n+1} ⊙ U_{n-1} ⊙ ⋯ ⊙ U₀)
 // with the method selected in opts (MethodAuto by default), returning the
 // I_n × C row-major result. Factor k must be I_k × C row-major.
@@ -106,6 +117,14 @@ func MTTKRP(x *Tensor, factors []Matrix, n int, opts MTTKRPOptions) Matrix {
 // MTTKRPWith computes the MTTKRP with an explicit algorithm choice.
 func MTTKRPWith(method Method, x *Tensor, factors []Matrix, n int, opts MTTKRPOptions) Matrix {
 	return core.Compute(method, x, factors, n, opts)
+}
+
+// MTTKRPInto computes the MTTKRP into a caller-owned contiguous row-major
+// I_n × C matrix and returns it. With a retained dst and opts.Pool set,
+// repeated same-shape calls reuse the pool's workspaces and allocate
+// nothing — the steady-state entry point for serving and ALS-style loops.
+func MTTKRPInto(dst Matrix, method Method, x *Tensor, factors []Matrix, n int, opts MTTKRPOptions) Matrix {
+	return core.ComputeInto(dst, method, x, factors, n, opts)
 }
 
 // KhatriRao computes the Khatri-Rao product of the given matrices
