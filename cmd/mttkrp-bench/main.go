@@ -1,4 +1,5 @@
-// Command mttkrp-bench regenerates the paper's evaluation figures.
+// Command mttkrp-bench regenerates the paper's evaluation figures and
+// load-tests the serving runtime.
 //
 // Usage:
 //
@@ -6,10 +7,15 @@
 //	mttkrp-bench -fig 5 -scale 0.05        # Figure 5 at 5% of paper size
 //	mttkrp-bench -fig 4a -maxthreads 12    # Figure 4a with a 1..12 sweep
 //	mttkrp-bench -fig 7 -paper             # paper-sized (needs a big server)
+//	mttkrp-bench -serve                    # serving load generator, conc 1/4/16
+//	mttkrp-bench -serve -conc 4 -requests 256 -sdims 60x50x40 -rank 16
 //
 // Each figure prints one table per subfigure with the same series the
 // paper plots, followed by OBS lines summarizing the shape claims
-// (speedups, ratios) recorded in EXPERIMENTS.md.
+// (speedups, ratios) recorded in EXPERIMENTS.md. The -serve mode drives
+// identical concurrent MTTKRP load through the admission-controlled
+// Server and through naive per-request pools, tabulating aggregate
+// throughput and latency percentiles.
 package main
 
 import (
@@ -42,11 +48,46 @@ func run(args []string, stdout, stderr io.Writer) error {
 	maxThreads := fs.Int("maxthreads", runtime.GOMAXPROCS(0), "top of the thread sweep")
 	trials := fs.Int("trials", 3, "timed repetitions per point (median reported)")
 	csvDir := fs.String("csvdir", "", "also write every table as a CSV file into this directory")
+	serveMode := fs.Bool("serve", false, "run the serving load generator instead of figure regeneration")
+	conc := fs.Int("conc", 0, "serving: fixed concurrency level (0 = sweep 1, 4, 16)")
+	requests := fs.Int("requests", 64, "serving: requests per concurrency level")
+	sdims := fs.String("sdims", "48x40x36", "serving: tensor dims, e.g. 60x50x40")
+	rank := fs.Int("rank", 16, "serving: CP rank / factor columns")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return err
 		}
 		return cli.UsageError{} // the FlagSet already printed message and usage
+	}
+
+	if *serveMode {
+		dims, err := cli.ParseDims(*sdims)
+		if err != nil {
+			return cli.UsageError{Msg: fmt.Sprintf("-sdims: %v", err)}
+		}
+		var levels []int
+		if *conc > 0 {
+			levels = []int{*conc}
+		}
+		fmt.Fprintf(stdout, "# MTTKRP serving load — dims %v, rank %d, %d requests/level, GOMAXPROCS=%d\n\n",
+			dims, *rank, *requests, runtime.GOMAXPROCS(0))
+		start := time.Now()
+		t := bench.ServeLoad(bench.ServeLoadConfig{
+			Dims:     dims,
+			Rank:     *rank,
+			Conc:     levels,
+			Requests: *requests,
+			Out:      func(format string, a ...any) { fmt.Fprintf(stdout, format, a...) },
+		})
+		fmt.Fprintln(stdout)
+		t.Fprint(stdout)
+		if *csvDir != "" {
+			if err := writeCSVs(*csvDir, []*bench.Table{t}); err != nil {
+				return fmt.Errorf("csv: %w", err)
+			}
+		}
+		fmt.Fprintf(stdout, "# done in %v\n", time.Since(start).Round(time.Millisecond))
+		return nil
 	}
 
 	cfg := bench.Config{

@@ -48,3 +48,24 @@ func TestRunUnknownFigure(t *testing.T) {
 		t.Fatal("run with unknown figure succeeded, want error")
 	}
 }
+
+func TestRunServeLoadTiny(t *testing.T) {
+	var out, errOut bytes.Buffer
+	err := run([]string{"-serve", "-conc", "2", "-requests", "8", "-sdims", "10x8x6", "-rank", "4"}, &out, &errOut)
+	if err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errOut.String())
+	}
+	s := out.String()
+	for _, want := range []string{"MTTKRP serving load", "Serving throughput", "OBS serve conc=2", "# done in"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunServeBadDims(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-serve", "-sdims", "nope"}, &out, &errOut); err == nil {
+		t.Fatal("bad -sdims accepted")
+	}
+}

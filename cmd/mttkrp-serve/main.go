@@ -1,0 +1,283 @@
+// Command mttkrp-serve is a line-oriented serving daemon over the
+// concurrent scheduler: one JSON request per line on stdin, one JSON
+// response per line on stdout, in completion order (responses carry the
+// request id). It is the end-to-end harness for the serving runtime — a
+// load generator (or a pipe-speaking supervisor) drives concurrent MTTKRP
+// and CP-ALS requests through one admission-controlled worker pool.
+//
+// Protocol (one object per line):
+//
+//	{"id":"a1","op":"mttkrp","dims":[60,50,40],"rank":8,"mode":1,"seed":3}
+//	{"id":"a2","op":"cp","dims":[30,30,30],"rank":4,"iters":5,"seed":1}
+//	{"id":"a3","op":"stats"}
+//
+// Tensors and factors are generated deterministically from (dims, seed)
+// and cached, so repeated requests against one problem hit warm data the
+// way a model server hits loaded weights; "sum" in the response is the
+// entry sum of the result, a cheap cross-implementation checksum.
+//
+// Usage:
+//
+//	mttkrp-serve [-workers N] [-minworkers N] [-maxactive N] [-nobatch]
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/cli"
+)
+
+func main() {
+	cli.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// request is one protocol line.
+type request struct {
+	ID     string `json:"id"`
+	Op     string `json:"op"`     // "mttkrp", "cp" or "stats"
+	Dims   []int  `json:"dims"`   // tensor shape
+	Rank   int    `json:"rank"`   // C
+	Mode   int    `json:"mode"`   // MTTKRP mode n
+	Method string `json:"method"` // "auto" (default), "1step", "2step", "reorder"
+	Seed   int64  `json:"seed"`   // tensor/factor generator seed
+	Iters  int    `json:"iters"`  // CP sweeps (default 10)
+}
+
+// response is one protocol line back.
+type response struct {
+	ID    string             `json:"id"`
+	OK    bool               `json:"ok"`
+	Err   string             `json:"error,omitempty"`
+	Rows  int                `json:"rows,omitempty"`
+	Cols  int                `json:"cols,omitempty"`
+	Sum   float64            `json:"sum,omitempty"`
+	Fit   float64            `json:"fit,omitempty"`
+	Iters int                `json:"iters,omitempty"`
+	Ms    float64            `json:"ms"`
+	Stats *repro.ServerStats `json:"stats,omitempty"`
+}
+
+// problemCache builds and retains the deterministic (dims, seed, rank)
+// tensors and factor sets the daemon serves against.
+type problemCache struct {
+	mu sync.Mutex
+	m  map[string]*problem
+}
+
+type problem struct {
+	x *repro.Tensor
+	u []repro.Matrix
+}
+
+// Resource ceilings for one cached problem and for the cache as a whole:
+// a request line must not be able to OOM the daemon, and a varied
+// workload must not grow memory without bound.
+const (
+	maxOrder       = 8
+	maxEntries     = 1 << 24 // ≤ 128 MiB of float64 tensor per problem
+	maxCachedProbs = 32
+)
+
+func (c *problemCache) get(dims []int, rank int, seed int64) (*problem, error) {
+	if len(dims) < 2 || len(dims) > maxOrder {
+		return nil, fmt.Errorf("need 2..%d dims, got %v", maxOrder, dims)
+	}
+	entries := 1
+	for _, d := range dims {
+		if d < 1 || d > 1<<12 {
+			return nil, fmt.Errorf("dimension %d out of range [1, 4096]", d)
+		}
+		if entries > maxEntries/d {
+			return nil, fmt.Errorf("tensor %v exceeds the %d-entry serving cap", dims, maxEntries)
+		}
+		entries *= d
+	}
+	if rank < 1 || rank > 1<<10 {
+		return nil, fmt.Errorf("rank %d out of range [1, 1024]", rank)
+	}
+	key := fmt.Sprintf("%v|c%d|s%d", dims, rank, seed)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p, ok := c.m[key]; ok {
+		return p, nil
+	}
+	rng := newRNG(seed)
+	p := &problem{x: repro.RandomTensor(rng, dims...)}
+	for k := 0; k < p.x.Order(); k++ {
+		p.u = append(p.u, repro.RandomMatrix(p.x.Dim(k), rank, rng))
+	}
+	if c.m == nil {
+		c.m = make(map[string]*problem)
+	}
+	if len(c.m) >= maxCachedProbs {
+		// Evict one arbitrary resident (map order): keeps the cache
+		// bounded without bookkeeping; a re-requested problem regenerates
+		// deterministically from its seed.
+		for k := range c.m {
+			delete(c.m, k)
+			break
+		}
+	}
+	c.m[key] = p
+	return p, nil
+}
+
+// newRNG is the daemon's deterministic generator: one seed fully
+// determines a problem, so a load generator and a checker agree on sums.
+func newRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func parseMethod(s string) (repro.Method, error) {
+	switch strings.ToLower(s) {
+	case "", "auto":
+		return repro.MethodAuto, nil
+	case "1step", "onestep", "1-step":
+		return repro.MethodOneStep, nil
+	case "2step", "twostep", "2-step":
+		return repro.MethodTwoStep, nil
+	case "reorder":
+		return repro.MethodReorder, nil
+	}
+	return 0, fmt.Errorf("unknown method %q", s)
+}
+
+// run is the daemon body with explicit streams so tests can drive it.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("mttkrp-serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	workers := fs.Int("workers", 0, "server pool width (0 = GOMAXPROCS)")
+	minWorkers := fs.Int("minworkers", 1, "admission floor: minimum workers per request")
+	maxActive := fs.Int("maxactive", 0, "max concurrently executing requests (0 = workers/minworkers)")
+	noBatch := fs.Bool("nobatch", false, "disable same-shape request batching")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return cli.UsageError{} // the FlagSet already printed message and usage
+	}
+	if fs.NArg() > 0 {
+		return cli.UsageError{Msg: fmt.Sprintf("unexpected argument %q (requests arrive on stdin)", fs.Arg(0))}
+	}
+
+	srv := repro.NewServer(repro.ServerConfig{
+		Workers:         *workers,
+		MinWorkers:      *minWorkers,
+		MaxActive:       *maxActive,
+		DisableBatching: *noBatch,
+	})
+	fmt.Fprintf(stderr, "mttkrp-serve: %d workers, floor %d, serving on stdin\n", srv.Workers(), *minWorkers)
+
+	var outMu sync.Mutex
+	enc := json.NewEncoder(stdout)
+	emit := func(r response) {
+		outMu.Lock()
+		enc.Encode(r)
+		outMu.Unlock()
+	}
+
+	cache := &problemCache{}
+	var wg sync.WaitGroup
+	sc := bufio.NewScanner(stdin)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var req request
+		if err := json.Unmarshal([]byte(line), &req); err != nil {
+			emit(response{ID: req.ID, Err: fmt.Sprintf("line %d: %v", lineNo, err)})
+			continue
+		}
+		if req.ID == "" {
+			req.ID = fmt.Sprintf("line-%d", lineNo)
+		}
+		switch req.Op {
+		case "stats":
+			st := srv.Stats()
+			emit(response{ID: req.ID, OK: true, Stats: &st})
+		case "mttkrp":
+			method, err := parseMethod(req.Method)
+			if err != nil {
+				emit(response{ID: req.ID, Err: err.Error()})
+				continue
+			}
+			p, err := cache.get(req.Dims, req.Rank, req.Seed)
+			if err != nil {
+				emit(response{ID: req.ID, Err: err.Error()})
+				continue
+			}
+			start := time.Now()
+			tk := srv.SubmitMTTKRP(repro.MTTKRPRequest{X: p.x, Factors: p.u, Mode: req.Mode, Method: method})
+			wg.Add(1)
+			go func(id string) {
+				defer wg.Done()
+				m, err := tk.MTTKRP()
+				ms := float64(time.Since(start).Microseconds()) / 1e3
+				if err != nil {
+					emit(response{ID: id, Err: err.Error(), Ms: ms})
+					return
+				}
+				emit(response{ID: id, OK: true, Rows: m.R, Cols: m.C, Sum: matSum(m), Ms: ms})
+			}(req.ID)
+		case "cp":
+			p, err := cache.get(req.Dims, req.Rank, req.Seed)
+			if err != nil {
+				emit(response{ID: req.ID, Err: err.Error()})
+				continue
+			}
+			iters := req.Iters
+			if iters <= 0 {
+				iters = 10
+			}
+			start := time.Now()
+			tk := srv.SubmitCP(repro.CPRequest{X: p.x, Config: repro.CPConfig{
+				Rank: req.Rank, MaxIters: iters, Tol: -1, Seed: req.Seed,
+			}})
+			wg.Add(1)
+			go func(id string) {
+				defer wg.Done()
+				res, err := tk.CP()
+				ms := float64(time.Since(start).Microseconds()) / 1e3
+				if err != nil {
+					emit(response{ID: id, Err: err.Error(), Ms: ms})
+					return
+				}
+				emit(response{ID: id, OK: true, Fit: res.Fit, Iters: res.Iters, Ms: ms})
+			}(req.ID)
+		default:
+			emit(response{ID: req.ID, Err: fmt.Sprintf("unknown op %q (want mttkrp, cp or stats)", req.Op)})
+		}
+	}
+	wg.Wait()
+	srv.Close()
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("stdin: %w", err)
+	}
+	st := srv.Stats()
+	fmt.Fprintf(stderr, "mttkrp-serve: done — %d submitted, %d completed (%d failed), %d batches (%d coalesced), peak %d active\n",
+		st.Submitted, st.Completed, st.Failed, st.Batches, st.Coalesced, st.PeakActive)
+	return nil
+}
+
+func matSum(m repro.Matrix) float64 {
+	s := 0.0
+	for i := 0; i < m.R; i++ {
+		for j := 0; j < m.C; j++ {
+			s += m.At(i, j)
+		}
+	}
+	return s
+}

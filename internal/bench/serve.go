@@ -1,0 +1,172 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mat"
+	"repro/internal/parallel"
+	"repro/internal/serve"
+	"repro/internal/tensor"
+)
+
+// ServeLoadConfig parameterizes the serving load generator.
+type ServeLoadConfig struct {
+	// Dims and Rank define the MTTKRP problem every request computes.
+	Dims []int
+	Rank int
+	// Mode is the MTTKRP mode (defaults to an internal mode when the
+	// order allows, the harder case).
+	Mode int
+	// Conc is the list of concurrency levels to sweep (submitters firing
+	// back-to-back requests). Default {1, 4, 16}.
+	Conc []int
+	// Requests is the total request count per concurrency level (split
+	// across submitters). Default 64.
+	Requests int
+	// Workers sizes the server pool (0 = GOMAXPROCS).
+	Workers int
+	// Out receives OBS commentary lines (may be nil).
+	Out func(format string, args ...any)
+}
+
+// serveLoadResult aggregates one measured series.
+type serveLoadResult struct {
+	throughput float64 // requests per second
+	p50, p95   time.Duration
+}
+
+// ServeLoad drives the serving runtime and the naive per-request-pool
+// pattern with identical load — Conc concurrent submitters, Requests
+// same-shape MTTKRP requests — and tabulates aggregate throughput and
+// latency percentiles. It is the reproducible form of the serving
+// acceptance comparison (EXPERIMENTS.md, "Serving throughput").
+func ServeLoad(cfg ServeLoadConfig) *Table {
+	if len(cfg.Dims) == 0 {
+		cfg.Dims = []int{48, 40, 36}
+	}
+	if cfg.Rank <= 0 {
+		cfg.Rank = 16
+	}
+	if cfg.Mode <= 0 || cfg.Mode >= len(cfg.Dims) {
+		cfg.Mode = len(cfg.Dims) / 2
+	}
+	if len(cfg.Conc) == 0 {
+		cfg.Conc = []int{1, 4, 16}
+	}
+	if cfg.Requests <= 0 {
+		cfg.Requests = 64
+	}
+	if cfg.Out == nil {
+		cfg.Out = func(string, ...any) {}
+	}
+
+	rng := rand.New(rand.NewSource(99))
+	x := tensor.Random(rng, cfg.Dims...)
+	u := make([]mat.View, x.Order())
+	for k := range u {
+		u[k] = mat.RandomDense(x.Dim(k), cfg.Rank, rng)
+	}
+
+	tb := NewTable(
+		fmt.Sprintf("Serving throughput — MTTKRP %v rank %d mode %d, %d requests per level",
+			cfg.Dims, cfg.Rank, cfg.Mode, cfg.Requests),
+		"conc", "served req/s", "naive req/s", "speedup", "served p50 ms", "served p95 ms", "naive p50 ms", "naive p95 ms")
+
+	for _, conc := range cfg.Conc {
+		served := runServed(cfg, x, u, conc)
+		naive := runNaive(cfg, x, u, conc)
+		speedup := served.throughput / naive.throughput
+		tb.Add(fmt.Sprintf("%d", conc),
+			fmt.Sprintf("%.1f", served.throughput),
+			fmt.Sprintf("%.1f", naive.throughput),
+			fmt.Sprintf("%.2fx", speedup),
+			fmt.Sprintf("%.3f", ms(served.p50)), fmt.Sprintf("%.3f", ms(served.p95)),
+			fmt.Sprintf("%.3f", ms(naive.p50)), fmt.Sprintf("%.3f", ms(naive.p95)))
+		cfg.Out("OBS serve conc=%d: %.1f req/s served vs %.1f req/s naive pools (%.2fx)\n",
+			conc, served.throughput, naive.throughput, speedup)
+	}
+	return tb
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1e3 }
+
+// driveLoad is the shared measurement harness: conc submitters pull
+// request indices from a shared counter and execute `request` per pull,
+// so the served and naive series run under an identical driver and any
+// methodology change applies to both.
+func driveLoad(cfg ServeLoadConfig, x *tensor.Dense, conc int, request func(dst mat.View)) serveLoadResult {
+	latencies := make([]time.Duration, cfg.Requests)
+	var next sync.Mutex
+	idx := 0
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dst := mat.NewDense(x.Dim(cfg.Mode), cfg.Rank)
+			for {
+				next.Lock()
+				i := idx
+				idx++
+				next.Unlock()
+				if i >= cfg.Requests {
+					return
+				}
+				t0 := time.Now()
+				request(dst)
+				latencies[i] = time.Since(t0)
+			}
+		}()
+	}
+	wg.Wait()
+	return summarize(latencies, time.Since(start))
+}
+
+// runServed measures the admission-controlled scheduler under load.
+func runServed(cfg ServeLoadConfig, x *tensor.Dense, u []mat.View, conc int) serveLoadResult {
+	s := serve.New(serve.Config{Workers: cfg.Workers})
+	defer s.Close()
+	// Warm the shape-keyed workspace set once, as a steady-state server
+	// would be.
+	if err := s.SubmitMTTKRP(serve.MTTKRPRequest{X: x, Factors: u, Mode: cfg.Mode}).Err(); err != nil {
+		panic(err)
+	}
+	return driveLoad(cfg, x, conc, func(dst mat.View) {
+		if err := s.SubmitMTTKRP(serve.MTTKRPRequest{X: x, Factors: u, Mode: cfg.Mode, Dst: dst}).Err(); err != nil {
+			panic(err)
+		}
+	})
+}
+
+// runNaive measures the pre-serving pattern: every request creates its own
+// full-width pool, computes, and tears it down.
+func runNaive(cfg ServeLoadConfig, x *tensor.Dense, u []mat.View, conc int) serveLoadResult {
+	return driveLoad(cfg, x, conc, func(dst mat.View) {
+		pool := parallel.NewPool(cfg.Workers)
+		core.ComputeInto(dst, core.MethodAuto, x, u, cfg.Mode, core.Options{Pool: pool})
+		pool.Close()
+	})
+}
+
+func summarize(lat []time.Duration, wall time.Duration) serveLoadResult {
+	sorted := append([]time.Duration(nil), lat...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	q := func(p float64) time.Duration {
+		if len(sorted) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	return serveLoadResult{
+		throughput: float64(len(lat)) / wall.Seconds(),
+		p50:        q(0.50),
+		p95:        q(0.95),
+	}
+}

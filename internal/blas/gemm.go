@@ -19,8 +19,9 @@ func Gemm(t int, alpha float64, a, b mat.View, beta float64, c mat.View) {
 	GemmBlockedOn(nil, t, alpha, a, b, beta, c, Blocking{})
 }
 
-// GemmOn is Gemm executed on an explicit pool.
-func GemmOn(p *parallel.Pool, t int, alpha float64, a, b mat.View, beta float64, c mat.View) {
+// GemmOn is Gemm executed on an explicit executor (a pool or a
+// scheduler-granted lease).
+func GemmOn(p parallel.Executor, t int, alpha float64, a, b mat.View, beta float64, c mat.View) {
 	GemmBlockedOn(p, t, alpha, a, b, beta, c, Blocking{})
 }
 
@@ -51,17 +52,16 @@ func GemmArena(ar *parallel.Arena, alpha float64, a, b mat.View, beta float64, c
 	gemmStripe(alpha, a, b, c, Blocking{}.orDefault(), ar)
 }
 
-// GemmBlockedOn is the full GEMM entry point: explicit pool, worker count
-// and blocking parameters. A nil pool selects the process-wide default,
-// resolved only when pack buffers or a dispatch are actually needed.
-func GemmBlockedOn(p *parallel.Pool, t int, alpha float64, a, b mat.View, beta float64, c mat.View, bl Blocking) {
+// GemmBlockedOn is the full GEMM entry point: explicit executor, worker
+// count and blocking parameters. A nil executor selects the process-wide
+// default pool, resolved only when pack buffers or a dispatch are actually
+// needed.
+func GemmBlockedOn(p parallel.Executor, t int, alpha float64, a, b mat.View, beta float64, c mat.View, bl Blocking) {
 	m, n, k := checkGemmDims(a, b, c)
 	if m == 0 || n == 0 {
 		return
 	}
-	if t <= 0 {
-		t = parallel.DefaultThreads() // 0 means GOMAXPROCS, as everywhere else
-	}
+	t = parallel.EffectiveOn(p, t) // one resolution rule everywhere; leases cap at their budget
 	small := int64(m)*int64(n)*int64(k) <= smallGemmFlops
 	if t <= 1 || (small && m < 2*t) {
 		scaleRows(beta, c)
@@ -72,18 +72,14 @@ func GemmBlockedOn(p *parallel.Pool, t int, alpha float64, a, b mat.View, beta f
 			gemmSmallAcc(alpha, a, b, c)
 			return
 		}
-		if p == nil {
-			p = parallel.Default()
-		}
+		p = parallel.OrDefault(p)
 		ws := p.Acquire()
 		gemmStripe(alpha, a, b, c, bl.orDefault(), ws.Arena(0))
 		ws.Release()
 		return
 	}
 
-	if p == nil {
-		p = parallel.Default()
-	}
+	p = parallel.OrDefault(p)
 	ws := p.Acquire()
 	f := ws.Frame("blas.gemm", newGemmFrame).(*gemmFrame)
 	f.alpha, f.beta = alpha, beta

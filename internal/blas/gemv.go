@@ -17,10 +17,11 @@ func Gemv(t int, alpha float64, a mat.View, x mat.Vec, beta float64, y mat.Vec) 
 	GemvOn(nil, t, alpha, a, x, beta, y)
 }
 
-// GemvOn is Gemv executed on an explicit pool; a nil pool selects the
-// process-wide default, resolved only if the call actually dispatches (so
-// sequential calls never instantiate the default worker team).
-func GemvOn(p *parallel.Pool, t int, alpha float64, a mat.View, x mat.Vec, beta float64, y mat.Vec) {
+// GemvOn is Gemv executed on an explicit executor (pool or lease); a nil
+// executor selects the process-wide default pool, resolved only if the
+// call actually dispatches (so sequential calls never instantiate the
+// default worker team).
+func GemvOn(p parallel.Executor, t int, alpha float64, a mat.View, x mat.Vec, beta float64, y mat.Vec) {
 	if a.C != x.N {
 		panic(fmt.Sprintf("blas: gemv dimension mismatch: A is %dx%d, x has %d", a.R, a.C, x.N))
 	}
@@ -34,9 +35,7 @@ func GemvOn(p *parallel.Pool, t int, alpha float64, a mat.View, x mat.Vec, beta 
 		gemvBlock(alpha, a, x, beta, y)
 		return
 	}
-	if p == nil {
-		p = parallel.Default()
-	}
+	p = parallel.OrDefault(p)
 	ws := p.Acquire()
 	f := ws.Frame("blas.gemv", newGemvFrame).(*gemvFrame)
 	f.alpha, f.beta = alpha, beta

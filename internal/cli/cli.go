@@ -10,10 +10,11 @@ import (
 	"repro/internal/core"
 )
 
-// ParseDims parses a comma-separated dimension list such as "225,59,200".
-// At least two positive dimensions are required.
+// ParseDims parses a dimension list such as "225,59,200" or "60x50x40"
+// (comma or 'x' separated). At least two positive dimensions are
+// required.
 func ParseDims(s string) ([]int, error) {
-	parts := strings.Split(s, ",")
+	parts := strings.Split(strings.NewReplacer("x", ",", "X", ",").Replace(s), ",")
 	dims := make([]int, 0, len(parts))
 	for _, p := range parts {
 		d, err := strconv.Atoi(strings.TrimSpace(p))

@@ -21,6 +21,9 @@ func TestParseDims(t *testing.T) {
 		{"4,-2", nil, false},
 		{"4,x", nil, false},
 		{"2,3,4,5,6", []int{2, 3, 4, 5, 6}, true},
+		{"60x50x40", []int{60, 50, 40}, true},
+		{"8X6", []int{8, 6}, true},
+		{"60x", nil, false},
 	}
 	for _, c := range cases {
 		got, err := ParseDims(c.in)

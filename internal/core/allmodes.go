@@ -38,10 +38,10 @@ func SweepAll(x *tensor.Dense, u []mat.View, opts Options, update func(n int, m 
 	validate(x, u, 0)
 	n := x.Order()
 	s := splitPoint(x)
-	t := parallel.Clamp(opts.Threads, 0)
 	c := rank(u)
 	bd := opts.Breakdown
 	p := opts.pool()
+	t := p.Effective(opts.Threads)
 	ws := p.Acquire()
 	vf := viewList(ws)
 	totalW := startWatch()
@@ -150,7 +150,7 @@ func newDeriveFrame() any {
 // subtensor for component c. Column c of the result is the subtensor
 // contracted against factors[k] column c for every k ≠ mode. Columns are
 // independent and processed in parallel.
-func deriveFromIntermediate(p *parallel.Pool, ws *parallel.Workspace, t int, inter mat.View, dims []int, factors []mat.View, mode int) mat.View {
+func deriveFromIntermediate(p parallel.Executor, ws *parallel.Workspace, t int, inter mat.View, dims []int, factors []mat.View, mode int) mat.View {
 	c := inter.C
 	out := mat.NewDense(dims[mode], c)
 	f := ws.Frame("core.derive", newDeriveFrame).(*deriveFrame)

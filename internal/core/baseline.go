@@ -30,13 +30,13 @@ func ReorderInto(dst mat.View, x *tensor.Dense, u []mat.View, n int, opts Option
 	validate(x, u, n)
 	c := rank(u)
 	validateDst(dst, x.Dim(n), c)
-	t := opts.Threads
+	p := opts.pool()
+	t := p.Effective(opts.Threads)
 	tAux := t // workers for the reorder and the KRP
 	if opts.BlasOnlyParallel {
 		tAux = 1
 	}
 	bd := opts.Breakdown
-	p := opts.pool()
 	ws := p.Acquire()
 	vf := viewList(ws)
 	vf.ops = appendOperands(vf.ops, u, n)

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/parallel"
+	"repro/internal/tensor"
+)
+
+// TestConcurrentIndependentPools drives simultaneous MTTKRPInto streams on
+// two independent pools sharing the process — the per-request isolation
+// contract. Run with -race (the CI race job covers this package): the two
+// pools must not share any mutable state, and each stream's results must
+// stay exact while the other runs.
+func TestConcurrentIndependentPools(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	x1 := tensor.Random(rng, 14, 11, 9)
+	x2 := tensor.Random(rng, 7, 6, 8, 5)
+	u1 := make([]mat.View, x1.Order())
+	for k := range u1 {
+		u1[k] = mat.RandomDense(x1.Dim(k), 6, rng)
+	}
+	u2 := make([]mat.View, x2.Order())
+	for k := range u2 {
+		u2[k] = mat.RandomDense(x2.Dim(k), 4, rng)
+	}
+	want1 := Compute(MethodAuto, x1, u1, 1, Options{Threads: 1})
+	want2 := Compute(MethodAuto, x2, u2, 2, Options{Threads: 1})
+
+	check := func(got, want mat.View) bool {
+		for i := 0; i < want.R; i++ {
+			for j := 0; j < want.C; j++ {
+				d := got.At(i, j) - want.At(i, j)
+				if d > 1e-10 || d < -1e-10 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+
+	const iters = 25
+	var wg sync.WaitGroup
+	run := func(x *tensor.Dense, u []mat.View, mode, c int, want mat.View) {
+		defer wg.Done()
+		pool := parallel.NewPool(3)
+		defer pool.Close()
+		dst := mat.NewDense(x.Dim(mode), c)
+		opts := Options{Threads: 3, Pool: pool}
+		for i := 0; i < iters; i++ {
+			ComputeInto(dst, MethodAuto, x, u, mode, opts)
+			if !check(dst, want) {
+				t.Errorf("pool stream on mode %d: wrong result at iter %d", mode, i)
+				return
+			}
+		}
+	}
+	wg.Add(2)
+	go run(x1, u1, 1, 6, want1)
+	go run(x2, u2, 2, 4, want2)
+	wg.Wait()
+}

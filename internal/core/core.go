@@ -80,23 +80,23 @@ type Options struct {
 	// cited in the paper's related work). Zero materializes the whole
 	// per-worker block, as in Algorithm 3. The result is identical.
 	KRPChunkRows int
-	// Pool, when non-nil, selects the persistent worker pool (and its
-	// reusable per-worker workspaces) that executes the kernels; nil uses
-	// the process-wide default pool. Concurrent computations that each
-	// want full parallelism should run on one pool per request. The
-	// isolation covers the MTTKRP kernels, BLAS calls and reductions;
-	// auxiliary tensor utilities without a pool parameter (for example
-	// the reorder baseline's Unfold and tensor.Norm) still run on the
-	// default pool.
-	Pool *parallel.Pool
+	// Pool, when non-nil, selects the execution context that runs the
+	// kernels: a *parallel.Pool (a persistent worker team with reusable
+	// per-worker workspaces) or a *parallel.Lease (a scheduler-granted
+	// slice of a shared team, the serving path); nil uses the process-wide
+	// default pool. With a lease attached, Threads = 0 resolves to the
+	// lease's granted budget, so admitted requests automatically honor
+	// their admission policy. The isolation covers the MTTKRP kernels,
+	// BLAS calls and reductions; auxiliary tensor utilities without a pool
+	// parameter (for example the reorder baseline's Unfold and
+	// tensor.Norm) still run on the default pool.
+	Pool parallel.Executor
 }
 
-// pool resolves the execution pool for this computation.
-func (o Options) pool() *parallel.Pool {
-	if o.Pool != nil {
-		return o.Pool
-	}
-	return parallel.Default()
+// pool resolves the execution context for this computation; nil (and the
+// historical typed-nil *Pool) selects the process-wide default pool.
+func (o Options) pool() parallel.Executor {
+	return parallel.OrDefault(o.Pool)
 }
 
 // Compute runs the selected MTTKRP method for mode n and returns the

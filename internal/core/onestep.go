@@ -144,8 +144,8 @@ func oneStepExternal(dst mat.View, x *tensor.Dense, u []mat.View, n int, opts Op
 	in := x.Dim(n)
 	other := x.SizeOther(n)
 	bd := opts.Breakdown
-	t := parallel.Clamp(opts.Threads, other)
 	p := opts.pool()
+	t := parallel.Clamp(p.Effective(opts.Threads), other)
 	ws := p.Acquire()
 	f := ws.Frame("core.onestep.ext", newOneStepExtFrame).(*oneStepExtFrame)
 
@@ -261,8 +261,8 @@ func oneStepInternal(dst mat.View, x *tensor.Dense, u []mat.View, n int, opts Op
 	il := x.SizeLeft(n)
 	nblk := x.NumModeBlocks(n)
 	bd := opts.Breakdown
-	t := parallel.Clamp(opts.Threads, nblk)
 	p := opts.pool()
+	t := parallel.Clamp(p.Effective(opts.Threads), nblk)
 	ws := p.Acquire()
 	f := ws.Frame("core.onestep.int", newOneStepIntFrame).(*oneStepIntFrame)
 

@@ -4,7 +4,6 @@ import (
 	"repro/internal/blas"
 	"repro/internal/krp"
 	"repro/internal/mat"
-	"repro/internal/parallel"
 	"repro/internal/tensor"
 )
 
@@ -116,9 +115,9 @@ func twoStepRightFirst(dst mat.View, x *tensor.Dense, u []mat.View, n int, opts 
 	in := x.Dim(n)
 	il := x.SizeLeft(n)
 	ir := x.SizeRight(n)
-	t := parallel.Clamp(opts.Threads, 0)
 	bd := opts.Breakdown
 	p := opts.pool()
+	t := p.Effective(opts.Threads)
 	ws := p.Acquire()
 	ar := ws.Arena(0)
 	f := ws.Frame("core.twostep", newTwoStepFrame).(*twoStepFrame)
@@ -162,9 +161,9 @@ func twoStepLeftFirst(dst mat.View, x *tensor.Dense, u []mat.View, n int, opts O
 	in := x.Dim(n)
 	il := x.SizeLeft(n)
 	ir := x.SizeRight(n)
-	t := parallel.Clamp(opts.Threads, 0)
 	bd := opts.Breakdown
 	p := opts.pool()
+	t := p.Effective(opts.Threads)
 	ws := p.Acquire()
 	ar := ws.Arena(0)
 	f := ws.Frame("core.twostep", newTwoStepFrame).(*twoStepFrame)

@@ -47,12 +47,14 @@ type Config struct {
 	// (Section 6): each ALS sweep costs two passes over the tensor
 	// instead of N, with identical results. When set, Method is ignored.
 	MultiSweep bool
-	// Pool, when non-nil, is the persistent worker pool all kernels of
-	// the run execute on; nil uses the process-wide default pool. A full
-	// ALS run reuses this one pool and its workspaces for every MTTKRP,
-	// so sweeps allocate no kernel scratch in steady state. Concurrent
-	// decompositions should use one pool each.
-	Pool *parallel.Pool
+	// Pool, when non-nil, is the execution context all kernels of the run
+	// execute on: a *parallel.Pool (persistent worker team) or a
+	// *parallel.Lease (a scheduler-granted slice of a shared team, the
+	// serving path); nil uses the process-wide default pool. A full ALS
+	// run reuses this one context and its workspaces for every MTTKRP, so
+	// sweeps allocate no kernel scratch in steady state. Concurrent
+	// decompositions should use one pool or lease each.
+	Pool parallel.Executor
 }
 
 func (c Config) withDefaults() Config {

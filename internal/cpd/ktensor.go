@@ -161,7 +161,7 @@ func gram(t int, u mat.View) mat.View {
 
 // gramOn is gram on an explicit pool (nil = default), so per-request ALS
 // runs keep their Gram updates on the request's own pool.
-func gramOn(p *parallel.Pool, t int, u mat.View) mat.View {
+func gramOn(p parallel.Executor, t int, u mat.View) mat.View {
 	g := mat.NewDense(u.C, u.C)
 	blas.GemmOn(p, t, 1, u.T(), u, 0, g)
 	return g

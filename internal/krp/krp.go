@@ -130,12 +130,13 @@ func newParallelFrame() any {
 	return f
 }
 
-// ParallelOn is Parallel executed on an explicit pool with workspace-cached
-// per-worker iterator state: in steady state it allocates nothing. ws must
-// be a workspace of p that the caller currently owns.
-func ParallelOn(p *parallel.Pool, ws *parallel.Workspace, t int, mats []mat.View, out mat.View) {
+// ParallelOn is Parallel executed on an explicit executor (pool or lease)
+// with workspace-cached per-worker iterator state: in steady state it
+// allocates nothing. ws must be a workspace of p that the caller currently
+// owns; p must be non-nil.
+func ParallelOn(p parallel.Executor, ws *parallel.Workspace, t int, mats []mat.View, out mat.View) {
 	rows, _ := checkOperands(mats, out)
-	t = parallel.Clamp(t, rows)
+	t = parallel.Clamp(p.Effective(t), rows)
 	f := ws.Frame("krp.parallel", newParallelFrame).(*parallelFrame)
 	for len(f.its) < t {
 		f.its = append(f.its, Iter{})

@@ -20,13 +20,67 @@ func DefaultThreads() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// Clamp bounds t to [1, n] when n > 0; a non-positive t selects
-// DefaultThreads. It never returns more workers than items so that every
-// worker owns a non-empty contiguous range.
-func Clamp(t, n int) int {
+// Effective resolves a requested worker count to the width a dispatch
+// actually uses: t itself when positive, DefaultThreads() (GOMAXPROCS)
+// when t <= 0. This is the single t = 0 resolution rule for the whole
+// library — blas, core and krp all resolve through it (directly or via
+// Clamp/EffectiveOn) instead of repeating the clamp.
+//
+// Note that resolution is independent of any pool's current team size:
+// Pool.Workers() reports how many persistent workers exist right now,
+// while Effective(0) reports the width a default dispatch will use (the
+// pool grows on demand to satisfy it). Leases are the exception — their
+// Effective caps the width at the granted budget; see Lease.
+func Effective(t int) int {
 	if t <= 0 {
-		t = DefaultThreads()
+		return DefaultThreads()
 	}
+	return t
+}
+
+// EffectiveOn resolves a requested worker count against an executor's own
+// width rule; a nil executor resolves with Effective. Pools resolve like
+// Effective (the team is not a cap); leases cap at their granted width.
+func EffectiveOn(p Executor, t int) int {
+	if p = nilToNone(p); p == nil {
+		return Effective(t)
+	}
+	return p.Effective(t)
+}
+
+// nilToNone normalizes typed-nil executors to a plain nil interface. A
+// caller holding an unset *Pool variable (the historical optional-pool
+// idiom) produces a non-nil interface wrapping a nil pointer when
+// assigning it to an Executor; treating that as "no executor" preserves
+// the old *Pool == nil fallback semantics.
+func nilToNone(p Executor) Executor {
+	switch v := p.(type) {
+	case *Pool:
+		if v == nil {
+			return nil
+		}
+	case *Lease:
+		if v == nil {
+			return nil
+		}
+	}
+	return p
+}
+
+// OrDefault resolves an optional execution context: nil (including a
+// typed-nil *Pool or *Lease) selects the process-wide default pool.
+func OrDefault(p Executor) Executor {
+	if p = nilToNone(p); p == nil {
+		return Default()
+	}
+	return p
+}
+
+// Clamp bounds t to [1, n] when n > 0; a non-positive t selects
+// DefaultThreads (the Effective rule). It never returns more workers than
+// items so that every worker owns a non-empty contiguous range.
+func Clamp(t, n int) int {
+	t = Effective(t)
 	if n > 0 && t > n {
 		t = n
 	}

@@ -24,15 +24,18 @@ import (
 // of a kernel survives across calls and steady-state execution allocates
 // nothing.
 type Pool struct {
-	mu     sync.Mutex // serializes dispatches and worker growth
-	chans  []chan job // chans[w] feeds persistent worker w (w ≥ 1); chans[0] is nil
-	wg     sync.WaitGroup
-	next   atomic.Int64 // shared chunk counter for dynamic scheduling
-	spawn  bool         // spawn-per-call baseline mode (benchmarks)
-	closed bool
+	mu      sync.Mutex // serializes dispatches, worker growth and leasing
+	chans   []chan job // chans[w] feeds persistent worker w (w ≥ 1); chans[0] is nil
+	leased  []bool     // leased[w]: worker w is reserved by an active Lease
+	nleased int
+	wg      sync.WaitGroup
+	next    atomic.Int64 // shared chunk counter for dynamic scheduling
+	spawn   bool         // spawn-per-call baseline mode (benchmarks)
+	closed  bool
 
-	wsMu sync.Mutex
-	free []*Workspace
+	wsMu  sync.Mutex
+	free  []*Workspace
+	keyed map[string][]*Workspace // shape-keyed free lists (see AcquireKeyed)
 }
 
 // jobKind selects the worker-side interpretation of a job.
@@ -47,38 +50,52 @@ const (
 
 // job describes one parallel region. It is passed by value over the worker
 // channels so dispatching allocates nothing.
+//
+// A region has t logical workers but may execute on fewer goroutines: each
+// job copy carries the physical worker's starting logical index (widx) and
+// the physical width (stride), and executes logical workers widx,
+// widx+stride, widx+2·stride, … < t in sequence. A pool dispatch always
+// uses stride == t (one logical worker per goroutine, the classic case); a
+// Lease narrower than the logical width strides, preserving the t-worker
+// semantics — every logical index runs, per-worker buffers indexed by the
+// logical id stay disjoint — on fewer goroutines.
 type job struct {
-	kind  jobKind
-	body1 func(worker int)
-	body3 func(worker, lo, hi int)
-	n     int
-	t     int
-	chunk int
-	next  *atomic.Int64
-	parts [][]float64
-	wg    *sync.WaitGroup
+	kind   jobKind
+	body1  func(worker int)
+	body3  func(worker, lo, hi int)
+	n      int
+	t      int // logical width of the region
+	widx   int // this copy's first logical worker index
+	stride int // physical width: distance between owned logical indices
+	chunk  int
+	next   *atomic.Int64
+	parts  [][]float64
+	wg     *sync.WaitGroup
+	perr   *atomic.Pointer[any] // lease dispatches: first worker panic, rethrown at the barrier
 }
 
-// run executes the portion of the job owned by worker w.
-func (j *job) run(w int) {
+// run executes every logical worker owned by this job copy.
+func (j *job) run() {
+	if j.kind == jobForDynamic {
+		// Dynamic regions self-balance through the shared chunk counter;
+		// the logical index only names the worker's private state, so each
+		// goroutine pulls chunks once under its first logical id.
+		j.runDynamic(j.widx)
+		return
+	}
+	for w := j.widx; w < j.t; w += j.stride {
+		j.exec(w)
+	}
+}
+
+// exec executes logical worker w of the region.
+func (j *job) exec(w int) {
 	switch j.kind {
 	case jobRun:
 		j.body1(w)
 	case jobFor:
 		lo, hi := BlockRange(j.n, j.t, w)
 		if lo < hi {
-			j.body3(w, lo, hi)
-		}
-	case jobForDynamic:
-		for {
-			hi := int(j.next.Add(int64(j.chunk)))
-			lo := hi - j.chunk
-			if lo >= j.n {
-				return
-			}
-			if hi > j.n {
-				hi = j.n
-			}
 			j.body3(w, lo, hi)
 		}
 	case jobReduce:
@@ -89,6 +106,21 @@ func (j *job) run(w int) {
 				dst[i] += p[i]
 			}
 		}
+	}
+}
+
+// runDynamic pulls chunks from the shared counter until the range drains.
+func (j *job) runDynamic(w int) {
+	for {
+		hi := int(j.next.Add(int64(j.chunk)))
+		lo := hi - j.chunk
+		if lo >= j.n {
+			return
+		}
+		if hi > j.n {
+			hi = j.n
+		}
+		j.body3(w, lo, hi)
 	}
 }
 
@@ -147,8 +179,11 @@ func Default() *Pool {
 	return defaultPool.p
 }
 
-// Workers returns the current number of persistent workers (including the
-// caller slot 0); it is the natural dispatch width of the pool.
+// Workers returns the current team width (persistent workers plus the
+// caller slot 0); it is the natural dispatch width of the pool. Note that
+// the team is not a cap: a dispatch with t = 0 resolves to Effective(0) =
+// GOMAXPROCS regardless of the current team size, growing the team on
+// demand (TestEffectiveResolution pins this relationship).
 func (p *Pool) Workers() int {
 	if p.spawn {
 		return DefaultThreads()
@@ -156,6 +191,75 @@ func (p *Pool) Workers() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return len(p.chans)
+}
+
+// Effective resolves a requested dispatch width for this pool: the global
+// Effective rule (non-positive t selects GOMAXPROCS). The current team
+// size never caps the result — the pool grows on demand.
+func (p *Pool) Effective(t int) int { return Effective(t) }
+
+// Resize sets the pool's team width to n (resolved with Effective): it
+// grows by spawning persistent workers, or shrinks by closing and retiring
+// idle workers from the tail of the team. Shrinking never retires workers
+// reserved by an active Lease — the width is clamped so every leased slot
+// survives; it also never touches in-flight regions, because dispatches
+// and Resize serialize on the region mutex. A later wider dispatch re-grows
+// the team on demand.
+func (p *Pool) Resize(n int) {
+	if p.spawn {
+		return // spawn pools have no persistent team to size
+	}
+	n = Effective(n)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		panic("parallel: Resize on a closed Pool")
+	}
+	if n >= len(p.chans) {
+		p.grow(n)
+		return
+	}
+	keep := n
+	for w := len(p.chans) - 1; w >= keep; w-- {
+		if w < len(p.leased) && p.leased[w] {
+			keep = w + 1
+			break
+		}
+	}
+	for _, ch := range p.chans[keep:] {
+		close(ch)
+	}
+	p.chans = p.chans[:keep]
+	if len(p.leased) > keep {
+		p.leased = p.leased[:keep]
+	}
+}
+
+// reserveLocked marks up to k unleased persistent workers as reserved by a
+// lease and returns their slots. Reservation is best-effort within the
+// current team: leases never grow the team (Resize the pool to raise lease
+// capacity). Callers hold p.mu.
+func (p *Pool) reserveLocked(k int) []leaseSlot {
+	for len(p.leased) < len(p.chans) {
+		p.leased = append(p.leased, false)
+	}
+	var out []leaseSlot
+	for w := 1; w < len(p.chans) && len(out) < k; w++ {
+		if !p.leased[w] {
+			p.leased[w] = true
+			p.nleased++
+			out = append(out, leaseSlot{id: w, ch: p.chans[w]})
+		}
+	}
+	return out
+}
+
+// releaseLocked returns reserved slots to the pool. Callers hold p.mu.
+func (p *Pool) releaseLocked(slots []leaseSlot) {
+	for _, s := range slots {
+		p.leased[s.id] = false
+		p.nleased--
+	}
 }
 
 // grow ensures the pool has at least t worker slots. Callers hold p.mu.
@@ -166,21 +270,48 @@ func (p *Pool) grow(t int) {
 	for len(p.chans) < t {
 		ch := make(chan job, 1)
 		p.chans = append(p.chans, ch)
-		go workerLoop(len(p.chans)-1, ch)
+		go workerLoop(ch)
 	}
 }
 
-// workerLoop is the body of one persistent worker goroutine.
-func workerLoop(w int, ch chan job) {
+// workerLoop is the body of one persistent worker goroutine. The logical
+// worker indices to execute travel inside the job (widx/stride), so the
+// same persistent worker can serve pool dispatches and lease dispatches
+// under whatever logical id the region assigned it.
+func workerLoop(ch chan job) {
 	for j := range ch {
-		j.run(w)
+		runWorkerJob(&j)
 		j.wg.Done()
 	}
 }
 
+// runWorkerJob executes a job copy on a worker goroutine. Lease dispatches
+// (j.perr != nil) capture a body panic instead of crashing the process —
+// the coordinator rethrows it after the barrier, where the serving layer
+// recovers it into the request's ticket. Pool dispatches keep the
+// historical fail-fast behavior: a worker panic is a program bug and
+// crashes.
+func runWorkerJob(j *job) {
+	if j.perr == nil {
+		j.run()
+		return
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			v := r
+			j.perr.CompareAndSwap(nil, &v) // keep the first panic
+		}
+	}()
+	j.run()
+}
+
 // dispatch fans the job out to workers 1..t-1, runs worker 0 on the calling
 // goroutine, and waits for the barrier. The pool mutex is held for the
-// whole region, serializing overlapping dispatches.
+// whole region, serializing overlapping dispatches. Workers reserved by a
+// Lease are still part of the team here — dispatching directly on a pool
+// with outstanding leases is memory-safe but contends with the lease
+// holders for those workers; a serving scheduler that leases a pool out
+// should own it exclusively.
 func (p *Pool) dispatch(j job) {
 	if p.spawn {
 		// Kept out of line so that j only escapes to the heap on the
@@ -189,6 +320,7 @@ func (p *Pool) dispatch(j job) {
 		return
 	}
 	p.mu.Lock()
+	defer p.mu.Unlock()
 	p.grow(j.t)
 	if j.kind == jobForDynamic {
 		// The shared chunk counter is reset here, under the dispatch
@@ -196,14 +328,20 @@ func (p *Pool) dispatch(j job) {
 		// (or clobber) another region's counter.
 		j.next.Store(0)
 	}
+	j.stride = j.t
 	p.wg.Add(j.t - 1)
 	j.wg = &p.wg
 	for w := 1; w < j.t; w++ {
+		j.widx = w
 		p.chans[w] <- j
 	}
-	j.run(0)
-	p.wg.Wait()
-	p.mu.Unlock()
+	// The barrier must complete even if worker 0's body panics (the
+	// deferred Wait runs before the mutex release): the region's workers
+	// drain, the pool stays consistent, and the panic propagates to the
+	// dispatching caller.
+	defer p.wg.Wait()
+	j.widx = 0
+	j.run()
 }
 
 // dispatchSpawn runs the job with freshly spawned goroutines — the
@@ -211,28 +349,36 @@ func (p *Pool) dispatch(j job) {
 func dispatchSpawn(j job) {
 	var wg sync.WaitGroup
 	wg.Add(j.t - 1)
+	j.stride = j.t
 	for w := 1; w < j.t; w++ {
-		go func(w int) {
+		jw := j
+		jw.widx = w
+		go func() {
 			defer wg.Done()
-			j.run(w)
-		}(w)
+			jw.run()
+		}()
 	}
-	j.run(0)
+	j.widx = 0
+	j.run()
 	wg.Wait()
 }
 
 // Close terminates the persistent workers and drops the pool's cached
 // workspaces (releasing their arena memory to the garbage collector). The
-// pool must be idle; any later dispatch panics. Closing the default pool
-// is not allowed.
+// pool must be idle and all leases closed; any later dispatch panics.
+// Closing the default pool is not allowed.
 func (p *Pool) Close() {
 	if p == defaultPool.p {
 		panic("parallel: cannot close the default pool")
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.nleased > 0 {
+		panic("parallel: Close with outstanding leases")
+	}
 	p.wsMu.Lock()
 	p.free = nil // drop cached workspaces so their arenas can be collected
+	p.keyed = nil
 	p.wsMu.Unlock()
 	if p.closed || len(p.chans) == 0 {
 		return // spawn pools (and already-closed pools) have no workers
@@ -248,9 +394,7 @@ func (p *Pool) Close() {
 // region" primitive, identical in semantics to the package-level Run but
 // executed on the pool's persistent workers.
 func (p *Pool) Run(t int, body func(worker int)) {
-	if t <= 0 {
-		t = DefaultThreads()
-	}
+	t = Effective(t)
 	if t == 1 {
 		body(0)
 		return
@@ -301,27 +445,41 @@ func (p *Pool) ForDynamic(t, n, chunk int, body func(worker, lo, hi int)) {
 // parts[0]. All buffers must have equal length; a mismatch panics up front
 // rather than corrupting data mid-reduction.
 func (p *Pool) ReduceSum(t int, parts [][]float64) []float64 {
-	if len(parts) == 0 {
+	dst, seq := checkReduceParts(parts)
+	if dst == nil {
 		return nil
 	}
-	dst := parts[0]
+	t = Clamp(t, len(dst))
+	if seq || t == 1 {
+		return reduceSeq(parts)
+	}
+	p.dispatch(job{kind: jobReduce, parts: parts, t: t})
+	return dst
+}
+
+// checkReduceParts validates that every reduction buffer matches parts[0]
+// in length, returning parts[0] (nil when parts is empty) and whether the
+// reduction needs no dispatch at all.
+func checkReduceParts(parts [][]float64) (dst []float64, seq bool) {
+	if len(parts) == 0 {
+		return nil, true
+	}
+	dst = parts[0]
 	for i, q := range parts[1:] {
 		if len(q) != len(dst) {
 			panic(fmt.Sprintf("parallel: ReduceSum buffer %d has length %d, want %d", i+1, len(q), len(dst)))
 		}
 	}
-	if len(parts) == 1 || len(dst) == 0 {
-		return dst
-	}
-	t = Clamp(t, len(dst))
-	if t == 1 {
-		for _, q := range parts[1:] {
-			for i, v := range q {
-				dst[i] += v
-			}
+	return dst, len(parts) == 1 || len(dst) == 0
+}
+
+// reduceSeq performs the reduction sequentially on the calling goroutine.
+func reduceSeq(parts [][]float64) []float64 {
+	dst := parts[0]
+	for _, q := range parts[1:] {
+		for i, v := range q {
+			dst[i] += v
 		}
-		return dst
 	}
-	p.dispatch(job{kind: jobReduce, parts: parts, t: t})
 	return dst
 }

@@ -12,30 +12,70 @@ package parallel
 // orders those accesses against the coordinator's).
 type Workspace struct {
 	pool   *Pool
+	key    string // free list this workspace returns to ("" = general)
 	arenas []*Arena
 	frames map[string]any
 }
 
-// Acquire returns a workspace from the pool's free-list, or a fresh one if
-// none is available. Pair it with Release.
+// Acquire returns a workspace from the pool's general free-list, or a
+// fresh one if none is available. Pair it with Release.
 func (p *Pool) Acquire() *Workspace {
+	return p.AcquireKeyed("")
+}
+
+// AcquireKeyed returns a workspace from the free list dedicated to key
+// ("" selects the pool's general list). Keyed lists are the
+// cross-request workspace cache of shape-batched serving: every request
+// acquired under one shape key gets a workspace whose buffers and kernel
+// frames were warmed by previous same-shape requests, regardless of which
+// lease or goroutine executes it. Release returns the workspace to its
+// key's list.
+func (p *Pool) AcquireKeyed(key string) *Workspace {
 	p.wsMu.Lock()
-	if n := len(p.free); n > 0 {
-		ws := p.free[n-1]
-		p.free = p.free[:n-1]
+	list := p.free
+	if key != "" {
+		list = p.keyed[key]
+	}
+	if n := len(list); n > 0 {
+		ws := list[n-1]
+		list[n-1] = nil
+		if key == "" {
+			p.free = list[:n-1]
+		} else {
+			p.keyed[key] = list[:n-1]
+		}
 		p.wsMu.Unlock()
 		return ws
 	}
 	p.wsMu.Unlock()
-	return &Workspace{pool: p, frames: make(map[string]any)}
+	return &Workspace{pool: p, key: key, frames: make(map[string]any)}
 }
 
-// Release returns the workspace to its pool for reuse. The caller must not
-// touch the workspace (or any buffer obtained from it) afterwards.
+// maxKeyedShapes bounds the number of distinct shape keys a pool caches
+// workspaces for. A long-lived server sees an open-ended stream of shapes;
+// without a cap, every shape ever served would pin a fully-sized arena set
+// until Close. Releases under keys beyond the cap simply drop the
+// workspace (the next acquisition for that key starts cold), so hot shapes
+// stay warm and cold shapes cost nothing persistent.
+const maxKeyedShapes = 32
+
+// Release returns the workspace to its pool (and its shape key's list) for
+// reuse. The caller must not touch the workspace (or any buffer obtained
+// from it) afterwards.
 func (ws *Workspace) Release() {
 	p := ws.pool
 	p.wsMu.Lock()
-	p.free = append(p.free, ws)
+	switch {
+	case ws.key == "":
+		p.free = append(p.free, ws)
+	case p.keyed == nil:
+		p.keyed = map[string][]*Workspace{ws.key: {ws}}
+	default:
+		if _, ok := p.keyed[ws.key]; ok || len(p.keyed) < maxKeyedShapes {
+			p.keyed[ws.key] = append(p.keyed[ws.key], ws)
+		}
+		// else: cap reached for new keys — let the GC take this one.
+	}
 	p.wsMu.Unlock()
 }
 

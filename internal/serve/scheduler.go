@@ -1,0 +1,323 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/cpd"
+	"repro/internal/mat"
+	"repro/internal/parallel"
+)
+
+// Config sizes a Server.
+type Config struct {
+	// Workers is the total team width of the server's pool (caller slots
+	// included); 0 selects GOMAXPROCS.
+	Workers int
+	// MinWorkers is the admission policy's per-request floor; requests
+	// never run narrower than this budget. Default 1.
+	MinWorkers int
+	// MaxActive caps concurrently executing requests (batches); further
+	// requests queue. 0 selects Workers / MinWorkers — the widest
+	// concurrency at which every active request can still hold its floor.
+	MaxActive int
+	// DisableBatching turns off same-shape MTTKRP coalescing; every
+	// request becomes its own batch.
+	DisableBatching bool
+}
+
+// Stats is a snapshot of scheduler counters.
+type Stats struct {
+	// Submitted counts accepted requests; Completed counts finished ones
+	// (Failed of those completed with an error).
+	Submitted, Completed, Failed int
+	// Batches counts executed batches; Coalesced counts requests that
+	// joined an existing same-shape batch instead of opening their own.
+	Batches, Coalesced int
+	// Active and Queued describe the instant of the snapshot; PeakActive
+	// is the high-water mark of concurrently executing batches.
+	Active, Queued, PeakActive int
+}
+
+// Server is the serving runtime: an admission-controlled scheduler plus a
+// same-shape batcher over one exclusively-owned worker pool. Create with
+// New, submit with SubmitMTTKRP/SubmitCP, and Close when done.
+type Server struct {
+	pool       *parallel.Pool
+	width      int // pool team width the admission policy divides
+	minWorkers int
+	maxActive  int
+	batching   bool
+
+	mu     sync.Mutex
+	open   map[string]*batch // same-shape batches still accepting joiners
+	queue  []*batch          // FIFO admission queue
+	active map[*batch]*parallel.Lease
+	stats  Stats
+	closed bool
+	wg     sync.WaitGroup // running batch executors
+}
+
+// batch is one unit of admission: one or more requests that execute
+// back-to-back on a single lease. Same-shape MTTKRP requests share a batch
+// (and through its shape key, a workspace set); CP requests and unbatched
+// servers get singleton batches.
+type batch struct {
+	key   string // shape key; "" never coalesces
+	items []*item
+}
+
+// item is one submitted request plus its completion ticket.
+type item struct {
+	mt *MTTKRPRequest
+	cp *CPRequest
+	fn func(parallel.Executor) // test/instrumentation hook requests
+	tk *Ticket
+}
+
+// New creates a serving runtime with its own worker pool.
+func New(cfg Config) *Server {
+	width := parallel.Effective(cfg.Workers)
+	minW := cfg.MinWorkers
+	if minW < 1 {
+		minW = 1
+	}
+	if minW > width {
+		minW = width
+	}
+	maxActive := cfg.MaxActive
+	if maxActive <= 0 {
+		maxActive = width / minW
+	}
+	if maxActive < 1 {
+		maxActive = 1
+	}
+	return &Server{
+		pool:       parallel.NewPool(width),
+		width:      width,
+		minWorkers: minW,
+		maxActive:  maxActive,
+		batching:   !cfg.DisableBatching,
+		open:       make(map[string]*batch),
+		active:     make(map[*batch]*parallel.Lease),
+	}
+}
+
+// Workers returns the server pool's team width.
+func (s *Server) Workers() int { return s.width }
+
+// Stats returns a snapshot of the scheduler counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Active = len(s.active)
+	st.Queued = len(s.queue)
+	return st
+}
+
+// SubmitMTTKRP admits an MTTKRP request and returns its ticket
+// immediately; the computation runs when the scheduler grants a lease.
+// Same-shape requests submitted while a batch for that shape is still
+// waiting for admission coalesce onto it.
+func (s *Server) SubmitMTTKRP(req MTTKRPRequest) *Ticket {
+	if err := validateMTTKRP(req); err != nil {
+		return failedTicket(err)
+	}
+	it := &item{mt: &req, tk: newTicket()}
+	s.enqueue(shapeKey(req), it)
+	return it.tk
+}
+
+// SubmitCP admits a CP-ALS request. CP runs are never coalesced — each is
+// its own unit of admission — but they share the worker pool and are
+// budgeted by the same policy.
+func (s *Server) SubmitCP(req CPRequest) *Ticket {
+	if req.X == nil {
+		return failedTicket(fmt.Errorf("serve: nil tensor"))
+	}
+	it := &item{cp: &req, tk: newTicket()}
+	s.enqueue("", it)
+	return it.tk
+}
+
+// submitFunc admits an arbitrary function under a shape key. Tests use it
+// to occupy the scheduler deterministically.
+func (s *Server) submitFunc(key string, fn func(parallel.Executor)) *Ticket {
+	it := &item{fn: fn, tk: newTicket()}
+	s.enqueue(key, it)
+	return it.tk
+}
+
+// enqueue joins an open same-shape batch or opens a new one, then kicks
+// the scheduler.
+func (s *Server) enqueue(key string, it *item) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		it.tk.fail(ErrClosed)
+		return
+	}
+	s.stats.Submitted++
+	if key != "" && s.batching {
+		if b, ok := s.open[key]; ok {
+			b.items = append(b.items, it)
+			s.stats.Coalesced++
+			return
+		}
+	}
+	b := &batch{key: key, items: []*item{it}}
+	if key != "" && s.batching {
+		s.open[key] = b
+	}
+	s.queue = append(s.queue, b)
+	s.scheduleLocked()
+}
+
+// budgetLocked is the admission policy: the pool's width divided evenly
+// across `active` concurrent requests, floored at MinWorkers and capped at
+// the full width.
+func (s *Server) budgetLocked(active int) int {
+	if active < 1 {
+		active = 1
+	}
+	b := s.width / active
+	if b < s.minWorkers {
+		b = s.minWorkers
+	}
+	if b > s.width {
+		b = s.width
+	}
+	return b
+}
+
+// scheduleLocked admits queued batches while capacity remains: each gets a
+// lease sized by the admission policy, and every already-active lease is
+// rebalanced to the new budget. Callers hold s.mu.
+func (s *Server) scheduleLocked() {
+	for len(s.queue) > 0 && len(s.active) < s.maxActive {
+		b := s.queue[0]
+		s.queue[0] = nil
+		s.queue = s.queue[1:]
+		if b.key != "" {
+			// The batch stops accepting joiners the moment it is granted
+			// a lease; later same-shape arrivals open the next batch.
+			delete(s.open, b.key)
+		}
+		lease := s.pool.Lease(s.budgetLocked(len(s.active) + 1))
+		s.active[b] = lease
+		s.stats.Batches++
+		if len(s.active) > s.stats.PeakActive {
+			s.stats.PeakActive = len(s.active)
+		}
+		s.rebalanceLocked()
+		s.wg.Add(1)
+		go s.run(b, lease)
+	}
+}
+
+// rebalanceLocked retargets every active lease to the current per-request
+// budget. Width changes apply at each lease's next region boundary; workers
+// freed by a shrinking lease are picked up by growing ones on their next
+// dispatch. Callers hold s.mu.
+func (s *Server) rebalanceLocked() {
+	budget := s.budgetLocked(len(s.active))
+	for _, lease := range s.active {
+		lease.Resize(budget)
+	}
+}
+
+// run executes one batch on its lease, then returns the lease and admits
+// more work.
+func (s *Server) run(b *batch, lease *parallel.Lease) {
+	defer s.wg.Done()
+	if b.key != "" {
+		lease.SetWorkspaceKey("serve:" + b.key)
+	}
+	for _, it := range b.items {
+		it.execute(lease)
+	}
+	lease.Close()
+	s.mu.Lock()
+	delete(s.active, b)
+	for _, it := range b.items {
+		s.stats.Completed++
+		if it.tk.err != nil {
+			s.stats.Failed++
+		}
+	}
+	s.rebalanceLocked()
+	s.scheduleLocked()
+	s.mu.Unlock()
+}
+
+// execute runs one request on the granted executor, recovering kernel
+// panics (shape mismatches and the like) into the ticket.
+func (it *item) execute(ex parallel.Executor) {
+	tk := it.tk
+	defer func() {
+		if r := recover(); r != nil {
+			tk.err = fmt.Errorf("serve: request failed: %v", r)
+		}
+		close(tk.done)
+	}()
+	switch {
+	case it.mt != nil:
+		req := it.mt
+		dst := req.Dst
+		if dst.Data == nil {
+			dst = mat.NewDense(req.X.Dim(req.Mode), req.Factors[0].C)
+		}
+		// Threads = 0 resolves to the lease's granted budget.
+		tk.m = core.ComputeInto(dst, req.Method, req.X, req.Factors, req.Mode, core.Options{Pool: ex})
+	case it.cp != nil:
+		cfg := it.cp.Config
+		cfg.Pool = ex
+		cfg.Threads = 0
+		tk.cp, tk.err = cpd.ALS(it.cp.X, cfg)
+	default:
+		it.fn(ex)
+	}
+}
+
+// Close fails all queued requests, waits for running batches to finish,
+// and releases the worker pool. Submissions after Close fail with
+// ErrClosed. Close is idempotent.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	pending := s.queue
+	s.queue = nil
+	clear(s.open)
+	for _, b := range pending {
+		// Queued requests complete (with ErrClosed) like any others, so
+		// Submitted == Completed still holds after a drain-and-close.
+		s.stats.Completed += len(b.items)
+		s.stats.Failed += len(b.items)
+	}
+	s.mu.Unlock()
+	for _, b := range pending {
+		for _, it := range b.items {
+			it.tk.fail(ErrClosed)
+		}
+	}
+	s.wg.Wait()
+	s.pool.Close()
+}
+
+// shapeKey is the batching signature of an MTTKRP request: tensor shape,
+// rank, mode and method. Two requests with equal keys run correctly on one
+// warmed workspace set.
+func shapeKey(r MTTKRPRequest) string {
+	key := make([]byte, 0, 48)
+	for i := 0; i < r.X.Order(); i++ {
+		key = fmt.Appendf(key, "%dx", r.X.Dim(i))
+	}
+	return string(fmt.Appendf(key, "|c%d|n%d|m%d", r.Factors[0].C, r.Mode, int(r.Method)))
+}

@@ -1,0 +1,119 @@
+// Package serve is the concurrent serving runtime on top of the
+// pool/workspace layers: a scheduler that admits MTTKRP and CP-ALS
+// requests, grants each an execution lease sized by an admission policy
+// (worker slots ÷ active requests, floored at a minimum and rebalanced as
+// requests arrive and finish), and coalesces same-shape MTTKRP requests
+// into batches that run back-to-back on one lease and one shape-keyed
+// workspace set — amortizing admission, dispatch warmup and scratch-buffer
+// sizing across requests the way a model server amortizes weights across
+// queries.
+//
+// One Server owns one parallel.Pool exclusively. Requests are submitted
+// asynchronously and complete through Tickets.
+package serve
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cpd"
+	"repro/internal/mat"
+	"repro/internal/tensor"
+)
+
+// ErrClosed reports a submission to (or pending work failed by) a closed
+// server.
+var ErrClosed = errors.New("serve: server closed")
+
+// MTTKRPRequest describes one MTTKRP computation to admit.
+type MTTKRPRequest struct {
+	// X is the input tensor (shared, read-only during the computation).
+	X *tensor.Dense
+	// Factors are the I_k × C row-major factor matrices, one per mode.
+	Factors []mat.View
+	// Mode is the MTTKRP mode n.
+	Mode int
+	// Method selects the algorithm (zero value = the paper's hybrid).
+	Method Method
+	// Dst, when non-zero, receives the I_n × C result (contiguous
+	// row-major, caller-retained for steady-state reuse); a zero Dst lets
+	// the server allocate one.
+	Dst mat.View
+}
+
+// Method aliases the core algorithm selector so daemon code can depend on
+// serve alone.
+type Method = core.Method
+
+// CPRequest describes one CP-ALS decomposition to admit.
+type CPRequest struct {
+	// X is the input tensor.
+	X *tensor.Dense
+	// Config configures the run. Pool and Threads are overridden by the
+	// scheduler: the decomposition executes on the lease granted at
+	// admission, with the worker budget the admission policy assigns.
+	Config cpd.Config
+}
+
+// Ticket is the async handle for a submitted request. Exactly one of the
+// typed getters matches the request kind; both block until completion.
+type Ticket struct {
+	done chan struct{}
+	m    mat.View
+	cp   *cpd.Result
+	err  error
+}
+
+func newTicket() *Ticket { return &Ticket{done: make(chan struct{})} }
+
+func failedTicket(err error) *Ticket {
+	t := newTicket()
+	t.err = err
+	close(t.done)
+	return t
+}
+
+// Done returns a channel closed when the request has completed.
+func (t *Ticket) Done() <-chan struct{} { return t.done }
+
+// MTTKRP blocks until completion and returns the result matrix.
+func (t *Ticket) MTTKRP() (mat.View, error) {
+	<-t.done
+	return t.m, t.err
+}
+
+// CP blocks until completion and returns the decomposition result.
+func (t *Ticket) CP() (*cpd.Result, error) {
+	<-t.done
+	return t.cp, t.err
+}
+
+// Err blocks until completion and returns the request's error, if any.
+func (t *Ticket) Err() error {
+	<-t.done
+	return t.err
+}
+
+// fail completes the ticket with an error. Only the owner (scheduler or
+// submit path) calls it, exactly once per ticket.
+func (t *Ticket) fail(err error) {
+	t.err = err
+	close(t.done)
+}
+
+// validateMTTKRP performs the cheap structural checks worth failing
+// synchronously; full shape validation happens inside core (panics there
+// are recovered into the ticket).
+func validateMTTKRP(r MTTKRPRequest) error {
+	if r.X == nil {
+		return errors.New("serve: nil tensor")
+	}
+	if len(r.Factors) != r.X.Order() {
+		return fmt.Errorf("serve: %d factor matrices for an order-%d tensor", len(r.Factors), r.X.Order())
+	}
+	if r.Mode < 0 || r.Mode >= r.X.Order() {
+		return fmt.Errorf("serve: mode %d out of range [0,%d)", r.Mode, r.X.Order())
+	}
+	return nil
+}

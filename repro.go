@@ -29,6 +29,7 @@ import (
 	"repro/internal/krp"
 	"repro/internal/mat"
 	"repro/internal/parallel"
+	"repro/internal/serve"
 	"repro/internal/tensor"
 	"repro/internal/ttm"
 	"repro/internal/tucker"
@@ -99,12 +100,41 @@ func RandomMatrix(rows, cols int, rng *rand.Rand) Matrix {
 // Pool is a persistent fork-join worker team with reusable per-worker
 // workspaces — the runtime all kernels execute on. The zero value of
 // MTTKRPOptions/CPConfig uses a shared process-wide pool; create one Pool
-// per concurrent request (and Close it when done) to isolate workloads.
+// per concurrent request (and Close it when done) to isolate workloads —
+// or, for many concurrent requests, use a Server, which shares one pool
+// across all of them under an admission policy.
 type Pool = parallel.Pool
 
 // NewPool creates a pool with the given number of persistent workers
 // (0 = GOMAXPROCS). Close it when no longer needed.
 func NewPool(workers int) *Pool { return parallel.NewPool(workers) }
+
+// Server is the concurrent serving runtime: an admission-controlled
+// scheduler that shares one worker pool across concurrent MTTKRP and CP
+// requests (worker budget = pool width ÷ active requests, with a floor,
+// rebalanced as requests arrive and finish) and coalesces same-shape
+// MTTKRP requests into batches on shared warmed workspaces. Submit with
+// SubmitMTTKRP/SubmitCP; results arrive through Tickets. Close when done.
+type Server = serve.Server
+
+// ServerConfig sizes a Server (worker count, per-request floor, admission
+// cap, batching).
+type ServerConfig = serve.Config
+
+// ServerStats is a snapshot of a Server's scheduler counters.
+type ServerStats = serve.Stats
+
+// Ticket is the async completion handle of a submitted request.
+type Ticket = serve.Ticket
+
+// MTTKRPRequest describes one MTTKRP submission to a Server.
+type MTTKRPRequest = serve.MTTKRPRequest
+
+// CPRequest describes one CP-ALS submission to a Server.
+type CPRequest = serve.CPRequest
+
+// NewServer creates a serving runtime with its own worker pool.
+func NewServer(cfg ServerConfig) *Server { return serve.New(cfg) }
 
 // MTTKRP computes M = X_(n) · (U_{N-1} ⊙ ⋯ ⊙ U_{n+1} ⊙ U_{n-1} ⊙ ⋯ ⊙ U₀)
 // with the method selected in opts (MethodAuto by default), returning the

@@ -1,0 +1,71 @@
+package repro_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro"
+)
+
+// TestServerAPI exercises the public serving API end to end: concurrent
+// same-shape MTTKRP submissions and a CP run through one Server, checked
+// against the direct single-caller APIs.
+func TestServerAPI(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	x := repro.RandomTensor(rng, 12, 9, 10)
+	const c = 4
+	factors := make([]repro.Matrix, x.Order())
+	for k := range factors {
+		factors[k] = repro.RandomMatrix(x.Dim(k), c, rng)
+	}
+	want := repro.MTTKRP(x, factors, 1, repro.MTTKRPOptions{Threads: 2})
+
+	srv := repro.NewServer(repro.ServerConfig{Workers: 4})
+	defer srv.Close()
+
+	const conc = 8
+	var wg sync.WaitGroup
+	errs := make([]error, conc)
+	for i := 0; i < conc; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for r := 0; r < 5; r++ {
+				got, err := srv.SubmitMTTKRP(repro.MTTKRPRequest{X: x, Factors: factors, Mode: 1}).MTTKRP()
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				for row := 0; row < want.R; row++ {
+					for col := 0; col < want.C; col++ {
+						d := got.At(row, col) - want.At(row, col)
+						if d > 1e-10 || d < -1e-10 {
+							t.Errorf("submitter %d: mismatch at (%d,%d)", i, row, col)
+							return
+						}
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("submitter %d: %v", i, err)
+		}
+	}
+
+	res, err := srv.SubmitCP(repro.CPRequest{X: x, Config: repro.CPConfig{Rank: 3, MaxIters: 3, Tol: -1}}).CP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iters != 3 || res.Fit <= 0 || res.Fit > 1 {
+		t.Fatalf("cp result %+v", res)
+	}
+
+	st := srv.Stats()
+	if st.Submitted != conc*5+1 || st.Completed != st.Submitted || st.Failed != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
