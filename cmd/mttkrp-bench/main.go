@@ -9,13 +9,18 @@
 //	mttkrp-bench -fig 7 -paper             # paper-sized (needs a big server)
 //	mttkrp-bench -serve                    # serving load generator, conc 1/4/16
 //	mttkrp-bench -serve -conc 4 -requests 256 -sdims 60x50x40 -rank 16
+//	mttkrp-bench -serve-http               # HTTP load against an in-process listener
+//	mttkrp-bench -serve-http -addr http://host:8080 -requests 256
 //
 // Each figure prints one table per subfigure with the same series the
 // paper plots, followed by OBS lines summarizing the shape claims
 // (speedups, ratios) recorded in EXPERIMENTS.md. The -serve mode drives
 // identical concurrent MTTKRP load through the admission-controlled
 // Server and through naive per-request pools, tabulating aggregate
-// throughput and latency percentiles.
+// throughput and latency percentiles. The -serve-http mode ships full
+// binary tensor payloads through the network transport (an in-process
+// loopback listener unless -addr targets a live one) and splits served
+// time into wire decode vs kernel compute.
 package main
 
 import (
@@ -49,6 +54,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	trials := fs.Int("trials", 3, "timed repetitions per point (median reported)")
 	csvDir := fs.String("csvdir", "", "also write every table as a CSV file into this directory")
 	serveMode := fs.Bool("serve", false, "run the serving load generator instead of figure regeneration")
+	serveHTTP := fs.Bool("serve-http", false, "run the HTTP transport load generator instead of figure regeneration")
+	addr := fs.String("addr", "", "serve-http: base URL of a live listener (empty = in-process loopback)")
 	conc := fs.Int("conc", 0, "serving: fixed concurrency level (0 = sweep 1, 4, 16)")
 	requests := fs.Int("requests", 64, "serving: requests per concurrency level")
 	sdims := fs.String("sdims", "48x40x36", "serving: tensor dims, e.g. 60x50x40")
@@ -60,7 +67,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return cli.UsageError{} // the FlagSet already printed message and usage
 	}
 
-	if *serveMode {
+	if *serveMode && *serveHTTP {
+		return cli.UsageError{Msg: "-serve and -serve-http are mutually exclusive"}
+	}
+	if *serveMode || *serveHTTP {
 		dims, err := cli.ParseDims(*sdims)
 		if err != nil {
 			return cli.UsageError{Msg: fmt.Sprintf("-sdims: %v", err)}
@@ -68,6 +78,31 @@ func run(args []string, stdout, stderr io.Writer) error {
 		var levels []int
 		if *conc > 0 {
 			levels = []int{*conc}
+		}
+		if *serveHTTP {
+			fmt.Fprintf(stdout, "# MTTKRP HTTP serving load — dims %v, rank %d, %d requests/level, GOMAXPROCS=%d\n\n",
+				dims, *rank, *requests, runtime.GOMAXPROCS(0))
+			start := time.Now()
+			t, err := bench.HTTPLoad(bench.HTTPLoadConfig{
+				URL:      *addr,
+				Dims:     dims,
+				Rank:     *rank,
+				Conc:     levels,
+				Requests: *requests,
+				Out:      func(format string, a ...any) { fmt.Fprintf(stdout, format, a...) },
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout)
+			t.Fprint(stdout)
+			if *csvDir != "" {
+				if err := writeCSVs(*csvDir, []*bench.Table{t}); err != nil {
+					return fmt.Errorf("csv: %w", err)
+				}
+			}
+			fmt.Fprintf(stdout, "# done in %v\n", time.Since(start).Round(time.Millisecond))
+			return nil
 		}
 		fmt.Fprintf(stdout, "# MTTKRP serving load — dims %v, rank %d, %d requests/level, GOMAXPROCS=%d\n\n",
 			dims, *rank, *requests, runtime.GOMAXPROCS(0))

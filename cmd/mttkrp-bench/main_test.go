@@ -69,3 +69,31 @@ func TestRunServeBadDims(t *testing.T) {
 		t.Fatal("bad -sdims accepted")
 	}
 }
+
+// TestRunServeHTTPTiny drives the HTTP load generator against its
+// in-process loopback listener: the acceptance path for
+// `mttkrp-bench -serve-http` — req/s plus p50/p95 with decode time
+// separated from kernel time.
+func TestRunServeHTTPTiny(t *testing.T) {
+	var out, errOut bytes.Buffer
+	err := run([]string{"-serve-http", "-conc", "2", "-requests", "8", "-sdims", "10x8x6", "-rank", "4"}, &out, &errOut)
+	if err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errOut.String())
+	}
+	s := out.String()
+	for _, want := range []string{
+		"MTTKRP HTTP serving load", "HTTP transport throughput",
+		"OBS http conc=2", "decode", "compute", "p50 ms", "p95 ms", "# done in",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunServeModesExclusive(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-serve", "-serve-http"}, &out, &errOut); err == nil {
+		t.Fatal("-serve with -serve-http accepted")
+	}
+}

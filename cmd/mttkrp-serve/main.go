@@ -1,24 +1,27 @@
-// Command mttkrp-serve is a line-oriented serving daemon over the
-// concurrent scheduler: one JSON request per line on stdin, one JSON
-// response per line on stdout, in completion order (responses carry the
-// request id). It is the end-to-end harness for the serving runtime — a
-// load generator (or a pipe-speaking supervisor) drives concurrent MTTKRP
-// and CP-ALS requests through one admission-controlled worker pool.
+// Command mttkrp-serve is the serving daemon over the concurrent
+// scheduler, with two front ends sharing one admission-controlled worker
+// pool:
 //
-// Protocol (one object per line):
+// Stdin-jsonl (the default): one JSON request per line on stdin, one JSON
+// response per line on stdout, in completion order (responses carry the
+// request id). Tensors are generated deterministically from (dims, seed)
+// and cached server-side:
 //
 //	{"id":"a1","op":"mttkrp","dims":[60,50,40],"rank":8,"mode":1,"seed":3}
 //	{"id":"a2","op":"cp","dims":[30,30,30],"rank":4,"iters":5,"seed":1}
 //	{"id":"a3","op":"stats"}
 //
-// Tensors and factors are generated deterministically from (dims, seed)
-// and cached, so repeated requests against one problem hit warm data the
-// way a model server hits loaded weights; "sum" in the response is the
-// entry sum of the result, a cheap cross-implementation checksum.
+// HTTP (-listen addr): a network listener speaking the compact binary
+// wire format of internal/transport — clients ship real tensor payloads
+// (POST /v1/mttkrp, /v1/cp; GET /v1/stats, /healthz), per-client
+// token-bucket quotas apply (-rps, -burst, -maxinflight, keyed by the
+// X-API-Key header), and SIGTERM drains gracefully: admitted tickets
+// finish, new submissions see 503, then the process exits 0.
 //
 // Usage:
 //
 //	mttkrp-serve [-workers N] [-minworkers N] [-maxactive N] [-nobatch]
+//	mttkrp-serve -listen :8080 [-rps R] [-burst B] [-maxinflight BYTES] [-maxpayload BYTES]
 package main
 
 import (
@@ -29,6 +32,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
 	"os"
 	"strings"
 	"sync"
@@ -159,6 +163,11 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	minWorkers := fs.Int("minworkers", 1, "admission floor: minimum workers per request")
 	maxActive := fs.Int("maxactive", 0, "max concurrently executing requests (0 = workers/minworkers)")
 	noBatch := fs.Bool("nobatch", false, "disable same-shape request batching")
+	listen := fs.String("listen", "", "serve the binary HTTP transport on this address (e.g. :8080) instead of stdin-jsonl")
+	rps := fs.Float64("rps", 0, "HTTP: per-client sustained request rate (0 = unlimited)")
+	burst := fs.Int("burst", 0, "HTTP: per-client burst depth (0 = ceil(rps))")
+	maxInflight := fs.Int64("maxinflight", 0, "HTTP: per-client in-flight payload byte cap (0 = unlimited)")
+	maxPayload := fs.Int64("maxpayload", 0, "HTTP: largest accepted request payload in bytes (0 = 1 GiB)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return err
@@ -166,15 +175,32 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		return cli.UsageError{} // the FlagSet already printed message and usage
 	}
 	if fs.NArg() > 0 {
-		return cli.UsageError{Msg: fmt.Sprintf("unexpected argument %q (requests arrive on stdin)", fs.Arg(0))}
+		return cli.UsageError{Msg: fmt.Sprintf("unexpected argument %q (requests arrive on stdin or -listen)", fs.Arg(0))}
+	}
+	if *listen == "" && (*rps != 0 || *burst != 0 || *maxInflight != 0 || *maxPayload != 0) {
+		return cli.UsageError{Msg: "-rps/-burst/-maxinflight/-maxpayload apply to the HTTP front end; pass -listen"}
 	}
 
-	srv := repro.NewServer(repro.ServerConfig{
+	serveCfg := repro.ServerConfig{
 		Workers:         *workers,
 		MinWorkers:      *minWorkers,
 		MaxActive:       *maxActive,
 		DisableBatching: *noBatch,
-	})
+	}
+
+	if *listen != "" {
+		return runHTTP(*listen, repro.TransportConfig{
+			Serve: serveCfg,
+			Quota: repro.QuotaConfig{
+				RequestsPerSec:   *rps,
+				Burst:            *burst,
+				MaxInflightBytes: *maxInflight,
+			},
+			MaxPayloadBytes: *maxPayload,
+		}, stderr)
+	}
+
+	srv := repro.NewServer(serveCfg)
 	fmt.Fprintf(stderr, "mttkrp-serve: %d workers, floor %d, serving on stdin\n", srv.Workers(), *minWorkers)
 
 	var outMu sync.Mutex
@@ -270,6 +296,26 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	fmt.Fprintf(stderr, "mttkrp-serve: done — %d submitted, %d completed (%d failed), %d batches (%d coalesced), peak %d active\n",
 		st.Submitted, st.Completed, st.Failed, st.Batches, st.Coalesced, st.PeakActive)
 	return nil
+}
+
+// runHTTP is the network front end: a transport listener over the same
+// scheduler, serving until SIGINT/SIGTERM and then draining so admitted
+// tickets finish. It prints the resolved listen address to stderr first —
+// supervisors (and the e2e test) parse it to discover a :0 port.
+func runHTTP(addr string, cfg repro.TransportConfig, stderr io.Writer) error {
+	ts := repro.NewTransport(cfg)
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("listen: %w", err)
+	}
+	err = repro.ServeTransport(ts, l, func(a net.Addr) {
+		fmt.Fprintf(stderr, "mttkrp-serve: listening on http://%s (%d workers)\n", a, ts.Workers())
+	})
+	st := ts.Stats()
+	fmt.Fprintf(stderr, "mttkrp-serve: drained — %d requests (%d quota-rejected, %d drain-rejected, %d bad, %d failed), %s in, %s out\n",
+		st.Requests, st.QuotaRejected, st.DrainRejected, st.BadRequests, st.Failed,
+		cli.FormatBytes(st.BytesIn), cli.FormatBytes(st.BytesOut))
+	return err
 }
 
 func matSum(m repro.Matrix) float64 {

@@ -1,0 +1,177 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/mat"
+	"repro/internal/serve"
+	"repro/internal/tensor"
+	"repro/internal/transport"
+)
+
+// HTTPLoadConfig parameterizes the HTTP serving load generator.
+type HTTPLoadConfig struct {
+	// URL targets a live listener ("http://host:port"); empty starts an
+	// in-process listener on a loopback port and tears it down after.
+	URL string
+	// Dims and Rank define the MTTKRP problem every request ships.
+	Dims []int
+	Rank int
+	// Mode is the MTTKRP mode (defaults to an internal mode, the harder
+	// case).
+	Mode int
+	// Conc is the list of concurrency levels to sweep. Default {1, 4, 16}.
+	Conc []int
+	// Requests is the total request count per concurrency level. Default 64.
+	Requests int
+	// Workers sizes the in-process server pool (0 = GOMAXPROCS); ignored
+	// when URL targets an external listener.
+	Workers int
+	// Out receives OBS commentary lines (may be nil).
+	Out func(format string, args ...any)
+}
+
+// HTTPLoad drives concurrent binary-wire MTTKRP requests through a
+// transport listener and tabulates throughput, latency percentiles, and
+// the server-reported decode-vs-compute time split — the acceptance
+// measurement for the network front end (EXPERIMENTS.md, "HTTP transport
+// throughput"). Unlike ServeLoad, every request ships its full tensor
+// payload, so the decode column prices the wire. An unreachable or
+// refusing listener is reported as an error (user-driven via -addr), not
+// a panic.
+func HTTPLoad(cfg HTTPLoadConfig) (*Table, error) {
+	if len(cfg.Dims) == 0 {
+		cfg.Dims = []int{48, 40, 36}
+	}
+	if cfg.Rank <= 0 {
+		cfg.Rank = 16
+	}
+	if cfg.Mode <= 0 || cfg.Mode >= len(cfg.Dims) {
+		cfg.Mode = len(cfg.Dims) / 2
+	}
+	if len(cfg.Conc) == 0 {
+		cfg.Conc = []int{1, 4, 16}
+	}
+	if cfg.Requests <= 0 {
+		cfg.Requests = 64
+	}
+	if cfg.Out == nil {
+		cfg.Out = func(string, ...any) {}
+	}
+
+	url := cfg.URL
+	if url == "" {
+		srv := transport.NewServer(transport.Config{Serve: serve.Config{Workers: cfg.Workers}})
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("bench: in-process listener: %w", err)
+		}
+		go srv.Serve(l)
+		defer srv.Close()
+		url = "http://" + l.Addr().String()
+		cfg.Out("OBS http: started in-process listener %s (%d workers)\n", url, srv.Workers())
+	}
+
+	rng := rand.New(rand.NewSource(99))
+	x := tensor.Random(rng, cfg.Dims...)
+	u := make([]mat.View, x.Order())
+	for k := range u {
+		u[k] = mat.RandomDense(x.Dim(k), cfg.Rank, rng)
+	}
+	payload := (&transport.Header{Op: transport.OpMTTKRP, Mode: cfg.Mode, Rank: cfg.Rank, Dims: cfg.Dims}).WireSize()
+
+	tb := NewTable(
+		fmt.Sprintf("HTTP transport throughput — MTTKRP %v rank %d mode %d, %d requests per level, %s/request on the wire",
+			cfg.Dims, cfg.Rank, cfg.Mode, cfg.Requests, cli.FormatBytes(payload)),
+		"conc", "req/s", "MB/s in", "p50 ms", "p95 ms", "decode ms/req", "compute ms/req", "decode share", "rejected")
+
+	client := transport.NewClient(url)
+	// Warm the connection pool and the server's shape-keyed workspaces.
+	if _, _, err := client.MTTKRP(mat.View{}, x, u, cfg.Mode, 0); err != nil {
+		return nil, fmt.Errorf("bench: warmup request against %s failed: %w", url, err)
+	}
+
+	for _, conc := range cfg.Conc {
+		r := runHTTPLevel(cfg, client, x, u, conc)
+		completed := cfg.Requests - int(r.rejected)
+		decodeMs, computeMs := 0.0, 0.0
+		if completed > 0 {
+			decodeMs = float64(r.decodeNs) / 1e6 / float64(completed)
+			computeMs = float64(r.computeNs) / 1e6 / float64(completed)
+		}
+		share := 0.0
+		if r.decodeNs+r.computeNs > 0 {
+			share = 100 * float64(r.decodeNs) / float64(r.decodeNs+r.computeNs)
+		}
+		mbps := r.res.throughput * float64(payload) / 1e6
+		tb.Add(fmt.Sprintf("%d", conc),
+			fmt.Sprintf("%.1f", r.res.throughput),
+			fmt.Sprintf("%.1f", mbps),
+			fmt.Sprintf("%.3f", ms(r.res.p50)), fmt.Sprintf("%.3f", ms(r.res.p95)),
+			fmt.Sprintf("%.3f", decodeMs), fmt.Sprintf("%.3f", computeMs),
+			fmt.Sprintf("%.1f%%", share),
+			fmt.Sprintf("%d", r.rejected))
+		cfg.Out("OBS http conc=%d: %.1f req/s (%.1f MB/s in), decode %.3f ms vs compute %.3f ms per request (%.1f%% decode), %d rejected\n",
+			conc, r.res.throughput, mbps, decodeMs, computeMs, share, r.rejected)
+	}
+	return tb, nil
+}
+
+// httpLevelResult carries one concurrency level's aggregates.
+type httpLevelResult struct {
+	res                 serveLoadResult
+	decodeNs, computeNs int64
+	rejected            int64
+}
+
+// runHTTPLevel fires cfg.Requests through conc submitters sharing one
+// client (and so one pooled connection set), with a retained dst per
+// submitter — the steady-state client pattern. Rejected requests (quota
+// 429s against a live listener, transport errors) are counted separately
+// and excluded from the latency/throughput series, so a throttled run
+// cannot masquerade as a fast one.
+func runHTTPLevel(cfg HTTPLoadConfig, client *transport.Client, x *tensor.Dense, u []mat.View, conc int) httpLevelResult {
+	var r httpLevelResult
+	var mu sync.Mutex
+	latencies := make([]time.Duration, 0, cfg.Requests)
+	idx := 0
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dst := mat.NewDense(x.Dim(cfg.Mode), cfg.Rank)
+			for {
+				mu.Lock()
+				i := idx
+				idx++
+				mu.Unlock()
+				if i >= cfg.Requests {
+					return
+				}
+				t0 := time.Now()
+				_, tm, err := client.MTTKRP(dst, x, u, cfg.Mode, 0)
+				lat := time.Since(t0)
+				if err != nil {
+					atomic.AddInt64(&r.rejected, 1)
+					continue
+				}
+				mu.Lock()
+				latencies = append(latencies, lat)
+				mu.Unlock()
+				atomic.AddInt64(&r.decodeNs, tm.Decode.Nanoseconds())
+				atomic.AddInt64(&r.computeNs, tm.Compute.Nanoseconds())
+			}
+		}()
+	}
+	wg.Wait()
+	r.res = summarize(latencies, time.Since(start))
+	return r
+}

@@ -50,13 +50,15 @@ type Server struct {
 	maxActive  int
 	batching   bool
 
-	mu     sync.Mutex
-	open   map[string]*batch // same-shape batches still accepting joiners
-	queue  []*batch          // FIFO admission queue
-	active map[*batch]*parallel.Lease
-	stats  Stats
-	closed bool
-	wg     sync.WaitGroup // running batch executors
+	mu       sync.Mutex
+	open     map[string]*batch // same-shape batches still accepting joiners
+	queue    []*batch          // FIFO admission queue
+	active   map[*batch]*parallel.Lease
+	stats    Stats
+	draining bool
+	closed   bool
+	drained  chan struct{}  // closed once draining and no queued/active work remains
+	wg       sync.WaitGroup // running batch executors
 }
 
 // batch is one unit of admission: one or more requests that execute
@@ -101,6 +103,7 @@ func New(cfg Config) *Server {
 		batching:   !cfg.DisableBatching,
 		open:       make(map[string]*batch),
 		active:     make(map[*batch]*parallel.Lease),
+		drained:    make(chan struct{}),
 	}
 }
 
@@ -155,8 +158,8 @@ func (s *Server) submitFunc(key string, fn func(parallel.Executor)) *Ticket {
 func (s *Server) enqueue(key string, it *item) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
-		it.tk.fail(ErrClosed)
+	if s.draining || s.closed {
+		it.tk.fail(ErrDraining)
 		return
 	}
 	s.stats.Submitted++
@@ -249,7 +252,35 @@ func (s *Server) run(b *batch, lease *parallel.Lease) {
 	}
 	s.rebalanceLocked()
 	s.scheduleLocked()
+	s.maybeDrainedLocked()
 	s.mu.Unlock()
+}
+
+// maybeDrainedLocked signals Drain waiters once admission has stopped and
+// the last admitted batch has finished. Callers hold s.mu.
+func (s *Server) maybeDrainedLocked() {
+	if !s.draining || len(s.queue) != 0 || len(s.active) != 0 {
+		return
+	}
+	select {
+	case <-s.drained:
+	default:
+		close(s.drained)
+	}
+}
+
+// Drain stops admission and waits for every already-accepted request —
+// running or still queued — to complete. Submissions during and after the
+// drain fail with ErrDraining. Drain is idempotent and safe to call
+// concurrently; Close after Drain releases the pool without failing
+// anything.
+func (s *Server) Drain() {
+	s.mu.Lock()
+	s.draining = true
+	s.maybeDrainedLocked()
+	s.mu.Unlock()
+	<-s.drained
+	s.wg.Wait()
 }
 
 // execute runs one request on the granted executor, recovering kernel
@@ -283,7 +314,8 @@ func (it *item) execute(ex parallel.Executor) {
 
 // Close fails all queued requests, waits for running batches to finish,
 // and releases the worker pool. Submissions after Close fail with
-// ErrClosed. Close is idempotent.
+// ErrDraining. Close is idempotent. For a graceful stop that completes
+// queued work instead of failing it, call Drain first.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -292,9 +324,11 @@ func (s *Server) Close() {
 		return
 	}
 	s.closed = true
+	s.draining = true
 	pending := s.queue
 	s.queue = nil
 	clear(s.open)
+	s.maybeDrainedLocked()
 	for _, b := range pending {
 		// Queued requests complete (with ErrClosed) like any others, so
 		// Submitted == Completed still holds after a drain-and-close.

@@ -22,9 +22,15 @@ import (
 	"repro/internal/tensor"
 )
 
-// ErrClosed reports a submission to (or pending work failed by) a closed
-// server.
+// ErrClosed reports pending work failed by a hard Close: requests that
+// were still queued for admission when the server shut down.
 var ErrClosed = errors.New("serve: server closed")
+
+// ErrDraining reports a submission refused because the server has stopped
+// admitting work — Drain or Close has begun. Transports map it to a
+// retryable rejection (HTTP 503) so clients fail over rather than treat
+// the drain as a request error.
+var ErrDraining = errors.New("serve: server draining, not accepting new requests")
 
 // MTTKRPRequest describes one MTTKRP computation to admit.
 type MTTKRPRequest struct {

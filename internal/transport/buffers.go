@@ -1,0 +1,47 @@
+package transport
+
+import "sync"
+
+// floatPool recycles float64 payload buffers across requests, so the
+// steady-state decode path reuses one warm slab per in-flight request
+// instead of allocating a tensor-sized buffer per call. Buffers whose
+// capacity falls short of a request are dropped and replaced — the pool
+// converges on the working set's largest shapes.
+type floatPool struct {
+	pool sync.Pool // of *[]float64
+}
+
+func (p *floatPool) get(n int) []float64 {
+	if v := p.pool.Get(); v != nil {
+		b := *(v.(*[]float64))
+		if cap(b) >= n {
+			return b[:n]
+		}
+	}
+	return make([]float64, n)
+}
+
+func (p *floatPool) put(b []float64) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:0]
+	p.pool.Put(&b)
+}
+
+// bytePool recycles the small chunk buffers the streaming codec converts
+// through.
+type bytePool struct {
+	pool sync.Pool // of *[]byte
+}
+
+func (p *bytePool) get() []byte {
+	if v := p.pool.Get(); v != nil {
+		return *(v.(*[]byte))
+	}
+	return make([]byte, scratchBytes)
+}
+
+func (p *bytePool) put(b []byte) {
+	p.pool.Put(&b)
+}

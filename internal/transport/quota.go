@@ -1,0 +1,136 @@
+package transport
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// QuotaConfig bounds each client's use of the listener. Clients are keyed
+// by API token (the X-API-Key header, falling back to the Authorization
+// header, falling back to the remote address), so one misbehaving tenant
+// throttles only itself.
+type QuotaConfig struct {
+	// RequestsPerSec is the sustained per-client admission rate; 0 means
+	// unlimited.
+	RequestsPerSec float64
+	// Burst is the token-bucket depth — how many requests a client may
+	// fire back-to-back after an idle period. 0 selects
+	// ceil(RequestsPerSec), minimum 1.
+	Burst int
+	// MaxInflightBytes caps the payload bytes a client may have admitted
+	// but not yet completed (decoding or computing); 0 means unlimited. A
+	// single request larger than the cap is always rejected.
+	MaxInflightBytes int64
+}
+
+// maxTrackedClients bounds the quota table; beyond it, idle clients are
+// evicted (their buckets refill to Burst on return, which only ever
+// forgives, never over-penalizes).
+const maxTrackedClients = 1024
+
+// quotaTable maps client keys to their token buckets.
+type quotaTable struct {
+	cfg QuotaConfig
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+// bucket is one client's quota state: a refilling request-rate token
+// bucket plus an in-flight payload byte count.
+type bucket struct {
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+
+	inflight atomic.Int64
+}
+
+func newQuotaTable(cfg QuotaConfig) *quotaTable {
+	if cfg.Burst <= 0 {
+		cfg.Burst = int(math.Ceil(cfg.RequestsPerSec))
+		if cfg.Burst < 1 {
+			cfg.Burst = 1
+		}
+	}
+	return &quotaTable{cfg: cfg, buckets: make(map[string]*bucket)}
+}
+
+// bucket returns (creating if needed) the bucket for key.
+func (q *quotaTable) bucket(key string, now time.Time) *bucket {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b, ok := q.buckets[key]
+	if !ok {
+		if len(q.buckets) >= maxTrackedClients {
+			q.evictIdleLocked()
+		}
+		b = &bucket{tokens: float64(q.cfg.Burst), last: now}
+		q.buckets[key] = b
+	}
+	return b
+}
+
+// evictIdleLocked drops one client with no in-flight bytes (map iteration
+// order — effectively random). Requests holding the evicted *bucket keep
+// working; the pointer just leaves the table.
+func (q *quotaTable) evictIdleLocked() {
+	for k, b := range q.buckets {
+		if b.inflight.Load() == 0 {
+			delete(q.buckets, k)
+			return
+		}
+	}
+}
+
+// allowRequest takes one rate token from key's bucket, reporting whether
+// the request is admitted. Unlimited (RequestsPerSec ≤ 0) always admits.
+func (q *quotaTable) allowRequest(key string, now time.Time) bool {
+	if q.cfg.RequestsPerSec <= 0 {
+		return true
+	}
+	b := q.bucket(key, now)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * q.cfg.RequestsPerSec
+		if burst := float64(q.cfg.Burst); b.tokens > burst {
+			b.tokens = burst
+		}
+		b.last = now
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// acquireBytes reserves n payload bytes against key's in-flight budget,
+// reporting whether the request fits. The caller must releaseBytes the
+// same amount when the request completes (success or failure).
+func (q *quotaTable) acquireBytes(key string, n int64, now time.Time) bool {
+	if q.cfg.MaxInflightBytes <= 0 {
+		return true
+	}
+	b := q.bucket(key, now)
+	for {
+		cur := b.inflight.Load()
+		if cur+n > q.cfg.MaxInflightBytes {
+			return false
+		}
+		if b.inflight.CompareAndSwap(cur, cur+n) {
+			return true
+		}
+	}
+}
+
+// releaseBytes returns n bytes reserved by acquireBytes.
+func (q *quotaTable) releaseBytes(key string, n int64, now time.Time) {
+	if q.cfg.MaxInflightBytes <= 0 {
+		return
+	}
+	q.bucket(key, now).inflight.Add(-n)
+}

@@ -1,0 +1,123 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestQuotaRateBucket drives the token bucket with a synthetic clock, so
+// refill behavior is deterministic.
+func TestQuotaRateBucket(t *testing.T) {
+	q := newQuotaTable(QuotaConfig{RequestsPerSec: 2, Burst: 4})
+	now := time.Unix(1000, 0)
+	for i := 0; i < 4; i++ {
+		if !q.allowRequest("a", now) {
+			t.Fatalf("burst request %d rejected", i)
+		}
+	}
+	if q.allowRequest("a", now) {
+		t.Fatal("request beyond burst admitted")
+	}
+	// Another client is unaffected.
+	if !q.allowRequest("b", now) {
+		t.Fatal("independent client rejected")
+	}
+	// Half a second refills one token at 2 req/s.
+	now = now.Add(500 * time.Millisecond)
+	if !q.allowRequest("a", now) {
+		t.Fatal("refilled token rejected")
+	}
+	if q.allowRequest("a", now) {
+		t.Fatal("second token admitted after a one-token refill")
+	}
+	// A long idle period refills to Burst, not beyond.
+	now = now.Add(time.Hour)
+	admitted := 0
+	for q.allowRequest("a", now) {
+		admitted++
+	}
+	if admitted != 4 {
+		t.Fatalf("refilled to %d tokens, want Burst=4", admitted)
+	}
+}
+
+func TestQuotaInflightBytes(t *testing.T) {
+	q := newQuotaTable(QuotaConfig{MaxInflightBytes: 100})
+	now := time.Unix(1000, 0)
+	if !q.acquireBytes("a", 60, now) || !q.acquireBytes("a", 40, now) {
+		t.Fatal("within-budget acquisitions rejected")
+	}
+	if q.acquireBytes("a", 1, now) {
+		t.Fatal("over-budget acquisition admitted")
+	}
+	if !q.acquireBytes("b", 100, now) {
+		t.Fatal("independent client rejected")
+	}
+	q.releaseBytes("a", 40, now)
+	if !q.acquireBytes("a", 40, now) {
+		t.Fatal("released budget not reusable")
+	}
+	// A single oversized request can never fit.
+	if q.acquireBytes("c", 101, now) {
+		t.Fatal("single request above the cap admitted")
+	}
+}
+
+// TestQuotaConcurrentUpdates is the satellite race test: many goroutines
+// hammer one table across overlapping keys under -race, and conservation
+// holds — in-flight bytes return to zero and admissions never exceed
+// burst + refill.
+func TestQuotaConcurrentUpdates(t *testing.T) {
+	q := newQuotaTable(QuotaConfig{RequestsPerSec: 1000, Burst: 50, MaxInflightBytes: 1 << 20})
+	const workers = 16
+	const iters = 400
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			key := fmt.Sprintf("client-%d", w%4)
+			for i := 0; i < iters; i++ {
+				now := time.Now()
+				q.allowRequest(key, now)
+				if q.acquireBytes(key, 512, now) {
+					q.releaseBytes(key, 512, now)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	now := time.Now()
+	for i := 0; i < 4; i++ {
+		key := fmt.Sprintf("client-%d", i)
+		if got := q.bucket(key, now).inflight.Load(); got != 0 {
+			t.Fatalf("%s: %d in-flight bytes leaked", key, got)
+		}
+	}
+}
+
+// TestQuotaTableEviction pins that the table stays bounded and only idle
+// clients are evicted.
+func TestQuotaTableEviction(t *testing.T) {
+	q := newQuotaTable(QuotaConfig{MaxInflightBytes: 1 << 20})
+	now := time.Unix(1000, 0)
+	// One busy client that must survive eviction pressure.
+	if !q.acquireBytes("busy", 100, now) {
+		t.Fatal("busy acquisition rejected")
+	}
+	for i := 0; i < maxTrackedClients+64; i++ {
+		q.bucket(fmt.Sprintf("c%d", i), now)
+	}
+	q.mu.Lock()
+	n := len(q.buckets)
+	_, busyAlive := q.buckets["busy"]
+	q.mu.Unlock()
+	if n > maxTrackedClients+1 {
+		t.Fatalf("table grew to %d clients", n)
+	}
+	if !busyAlive {
+		t.Fatal("client with in-flight bytes was evicted")
+	}
+}

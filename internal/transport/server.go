@@ -1,0 +1,395 @@
+package transport
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/cpd"
+	"repro/internal/mat"
+	"repro/internal/serve"
+)
+
+// Config sizes a transport Server.
+type Config struct {
+	// Serve configures the underlying admission-controlled scheduler
+	// (pool width, per-request floor, admission cap, batching).
+	Serve serve.Config
+	// Quota bounds each client's request rate and in-flight bytes.
+	Quota QuotaConfig
+	// MaxPayloadBytes caps one request's decoded payload; 0 selects 1 GiB.
+	MaxPayloadBytes int64
+	// CPIters is the sweep budget applied to CP requests that leave Iters
+	// zero; 0 selects 10.
+	CPIters int
+	// DrainTimeout bounds the graceful drain on shutdown; 0 selects 60 s.
+	DrainTimeout time.Duration
+}
+
+// Stats is a snapshot of transport counters plus the scheduler's.
+type Stats struct {
+	// Requests counts everything that reached a compute endpoint;
+	// QuotaRejected of those refused by a token bucket, DrainRejected by a
+	// drain in progress, BadRequests by wire-format validation, Failed by
+	// kernel errors.
+	Requests      int64 `json:"requests"`
+	QuotaRejected int64 `json:"quota_rejected"`
+	DrainRejected int64 `json:"drain_rejected"`
+	BadRequests   int64 `json:"bad_requests"`
+	Failed        int64 `json:"failed"`
+	// BytesIn / BytesOut count payload (not HTTP framing) bytes.
+	BytesIn  int64 `json:"bytes_in"`
+	BytesOut int64 `json:"bytes_out"`
+	// DecodeNs and ComputeNs split served time between wire decode and
+	// kernel execution (the split mttkrp-bench -serve-http reports).
+	DecodeNs  int64 `json:"decode_ns"`
+	ComputeNs int64 `json:"compute_ns"`
+	// Serve is the scheduler's own counter snapshot.
+	Serve serve.Stats `json:"serve"`
+}
+
+// Server is the HTTP front end: quota checks, streaming wire decode into
+// pooled buffers, submission to the scheduler, and graceful drain. Create
+// with NewServer, attach with Serve/ListenAndServe, stop with Shutdown
+// (graceful) or Close (hard).
+type Server struct {
+	cfg    Config
+	sched  *serve.Server
+	quotas *quotaTable
+	httpd  *http.Server
+
+	bufs     floatPool // request payload slabs
+	dsts     floatPool // MTTKRP result buffers
+	scratch  bytePool  // streaming-codec chunk buffers
+	draining atomic.Bool
+
+	requests, quotaRejected, drainRejected atomic.Int64
+	badRequests, failed                    atomic.Int64
+	bytesIn, bytesOut                      atomic.Int64
+	decodeNs, computeNs                    atomic.Int64
+}
+
+// NewServer builds the transport server and its scheduler. The caller owns
+// the listener lifecycle (Serve / ListenAndServe / Shutdown).
+func NewServer(cfg Config) *Server {
+	if cfg.MaxPayloadBytes <= 0 {
+		cfg.MaxPayloadBytes = 1 << 30
+	}
+	if cfg.CPIters <= 0 {
+		cfg.CPIters = 10
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 60 * time.Second
+	}
+	s := &Server{
+		cfg:    cfg,
+		sched:  serve.New(cfg.Serve),
+		quotas: newQuotaTable(cfg.Quota),
+	}
+	s.httpd = &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return s
+}
+
+// Workers returns the scheduler pool's team width.
+func (s *Server) Workers() int { return s.sched.Workers() }
+
+// Stats returns a snapshot of transport and scheduler counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Requests:      s.requests.Load(),
+		QuotaRejected: s.quotaRejected.Load(),
+		DrainRejected: s.drainRejected.Load(),
+		BadRequests:   s.badRequests.Load(),
+		Failed:        s.failed.Load(),
+		BytesIn:       s.bytesIn.Load(),
+		BytesOut:      s.bytesOut.Load(),
+		DecodeNs:      s.decodeNs.Load(),
+		ComputeNs:     s.computeNs.Load(),
+		Serve:         s.sched.Stats(),
+	}
+}
+
+// Handler returns the route table. It is exposed so tests (and embedders
+// that already own an http.Server) can mount the transport under their own
+// mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/mttkrp", func(w http.ResponseWriter, r *http.Request) {
+		s.handleCompute(w, r, OpMTTKRP)
+	})
+	mux.HandleFunc("POST /v1/cp", func(w http.ResponseWriter, r *http.Request) {
+		s.handleCompute(w, r, OpCP)
+	})
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+// Serve accepts connections on l until Shutdown or Close. It returns nil
+// after a clean shutdown.
+func (s *Server) Serve(l net.Listener) error {
+	err := s.httpd.Serve(l)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// ListenAndServe listens on addr (":8080", "127.0.0.1:0", …) and serves
+// until Shutdown or Close.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Shutdown drains gracefully: new submissions are refused with 503,
+// in-flight requests (and their admitted tickets) run to completion, then
+// the scheduler and worker pool are released. Safe to call while Serve is
+// blocked; Serve then returns nil. ctx bounds the whole drain: if it
+// expires first, Shutdown returns ctx's error while scheduler teardown
+// continues in the background (running kernels are not preemptible — a
+// supervisor acting on the timeout is abandoning them by design).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	err := s.httpd.Shutdown(ctx) // waits for in-flight handlers (ticket waits included)
+	done := make(chan struct{})
+	go func() {
+		s.sched.Drain()
+		s.sched.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		if err == nil {
+			err = ctx.Err()
+		}
+	}
+	return err
+}
+
+// Close stops serving immediately: open connections are dropped and
+// queued scheduler work fails with serve.ErrClosed.
+func (s *Server) Close() error {
+	s.draining.Store(true)
+	err := s.httpd.Close()
+	s.sched.Close()
+	return err
+}
+
+// ListenAndServe runs a transport server on addr until the process
+// receives SIGINT or SIGTERM, then drains gracefully (admitted tickets
+// finish; new submissions see 503) and returns. It is the
+// repro.ListenAndServe entry point.
+func ListenAndServe(addr string, cfg Config) error {
+	s := NewServer(cfg)
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return ServeUntilSignal(s, l, nil)
+}
+
+// ServeUntilSignal serves on l until SIGINT/SIGTERM, then drains. When
+// notify is non-nil it receives the listener's resolved address before
+// serving starts (the way cmd/mttkrp-serve reports a :0 port).
+func ServeUntilSignal(s *Server, l net.Listener, notify func(net.Addr)) error {
+	if notify != nil {
+		notify(l.Addr())
+	}
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(stop)
+	errc := make(chan error, 1)
+	go func() { errc <- s.Serve(l) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-stop:
+		ctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			return fmt.Errorf("transport: drain: %w", err)
+		}
+		return <-errc
+	}
+}
+
+// clientKey identifies the quota principal of a request: explicit API
+// token first, transport identity as the fallback.
+func clientKey(r *http.Request) string {
+	if k := r.Header.Get("X-API-Key"); k != "" {
+		return k
+	}
+	if a := r.Header.Get("Authorization"); a != "" {
+		return a
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
+
+// Timing response headers: the server-measured decode/compute split, which
+// the load generator aggregates without a second stats round trip.
+const (
+	headerDecodeNs  = "X-Decode-Ns"
+	headerComputeNs = "X-Compute-Ns"
+)
+
+// handleCompute is the shared data path of /v1/mttkrp and /v1/cp.
+func (s *Server) handleCompute(w http.ResponseWriter, r *http.Request, wantOp Op) {
+	s.requests.Add(1)
+	if s.draining.Load() {
+		s.drainRejected.Add(1)
+		http.Error(w, "server draining", http.StatusServiceUnavailable)
+		return
+	}
+	key := clientKey(r)
+	now := time.Now()
+	if !s.quotas.allowRequest(key, now) {
+		s.quotaRejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "request rate quota exceeded", http.StatusTooManyRequests)
+		return
+	}
+
+	t0 := time.Now()
+	h, err := ReadHeader(r.Body)
+	if err != nil {
+		s.badRequests.Add(1)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if h.Op != wantOp {
+		s.badRequests.Add(1)
+		http.Error(w, fmt.Sprintf("transport: op %d on the op-%d endpoint", h.Op, wantOp), http.StatusBadRequest)
+		return
+	}
+	if err := h.Validate(s.cfg.MaxPayloadBytes); err != nil {
+		s.badRequests.Add(1)
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrPayloadTooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	payload := h.PayloadBytes()
+	if !s.quotas.acquireBytes(key, payload, now) {
+		s.quotaRejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "in-flight byte quota exceeded", http.StatusTooManyRequests)
+		return
+	}
+	defer s.quotas.releaseBytes(key, payload, now)
+
+	// Stream-decode the payload into a pooled slab: the request's floats
+	// materialize exactly once, and the slab goes back to the pool when
+	// the response has been written.
+	buf := s.bufs.get(h.PayloadFloats())
+	defer s.bufs.put(buf)
+	scratch := s.scratch.get()
+	defer s.scratch.put(scratch)
+	x, factors, err := DecodeRequest(r.Body, h, buf, scratch)
+	if err != nil {
+		s.badRequests.Add(1)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	decode := time.Since(t0)
+	s.bytesIn.Add(payload)
+	s.decodeNs.Add(decode.Nanoseconds())
+
+	switch h.Op {
+	case OpMTTKRP:
+		rows := h.Dims[h.Mode]
+		dstBuf := s.dsts.get(rows * h.Rank)
+		defer s.dsts.put(dstBuf)
+		dst := mat.FromRowMajor(dstBuf, rows, h.Rank)
+		c0 := time.Now()
+		m, err := s.sched.SubmitMTTKRP(serve.MTTKRPRequest{
+			X: x, Factors: factors, Mode: h.Mode, Method: h.Method, Dst: dst,
+		}).MTTKRP()
+		compute := time.Since(c0)
+		s.computeNs.Add(compute.Nanoseconds())
+		if err != nil {
+			s.failComputeError(w, err)
+			return
+		}
+		hdr := w.Header()
+		hdr.Set("Content-Type", "application/x-tensor-wire")
+		hdr.Set("Content-Length", strconv.FormatInt(MatrixWireSize(m.R, m.C), 10))
+		hdr.Set(headerDecodeNs, strconv.FormatInt(decode.Nanoseconds(), 10))
+		hdr.Set(headerComputeNs, strconv.FormatInt(compute.Nanoseconds(), 10))
+		if err := WriteMatrix(w, m, scratch); err != nil {
+			return // client went away mid-response; nothing to report
+		}
+		s.bytesOut.Add(MatrixWireSize(m.R, m.C))
+	case OpCP:
+		iters := h.Iters
+		if iters <= 0 {
+			iters = s.cfg.CPIters
+		}
+		c0 := time.Now()
+		res, err := s.sched.SubmitCP(serve.CPRequest{X: x, Config: cpd.Config{
+			Rank: h.Rank, MaxIters: iters, Method: h.Method, Seed: h.Seed,
+		}}).CP()
+		compute := time.Since(c0)
+		s.computeNs.Add(compute.Nanoseconds())
+		if err != nil {
+			s.failComputeError(w, err)
+			return
+		}
+		hdr := w.Header()
+		hdr.Set("Content-Type", "application/x-ktensor-wire")
+		hdr.Set(headerDecodeNs, strconv.FormatInt(decode.Nanoseconds(), 10))
+		hdr.Set(headerComputeNs, strconv.FormatInt(compute.Nanoseconds(), 10))
+		hdr.Set("X-CP-Fit", strconv.FormatFloat(res.Fit, 'g', -1, 64))
+		hdr.Set("X-CP-Iters", strconv.Itoa(res.Iters))
+		if err := WriteKTensor(w, res.K, scratch); err != nil {
+			return
+		}
+	}
+}
+
+// failComputeError maps a scheduler/kernel error onto an HTTP status: a
+// drain is retryable (503, counted as DrainRejected), everything else is
+// a kernel failure (500, counted as Failed).
+func (s *Server) failComputeError(w http.ResponseWriter, err error) {
+	if errors.Is(err, serve.ErrDraining) || errors.Is(err, serve.ErrClosed) {
+		s.drainRejected.Add(1)
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	s.failed.Add(1)
+	http.Error(w, err.Error(), http.StatusInternalServerError)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.Stats())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Write([]byte("ok\n"))
+}

@@ -1,0 +1,486 @@
+// Package transport is the network front end of the serving runtime: an
+// HTTP/1.1 listener (HTTP/2 when TLS is configured — net/http negotiates
+// it automatically) that decodes a compact binary wire format for dense
+// tensors directly into pooled request buffers, applies per-client
+// token-bucket quotas (request rate and in-flight payload bytes), submits
+// to the admission-controlled scheduler (internal/serve), and drains
+// gracefully on shutdown so admitted tickets finish.
+//
+// The wire format keeps JSON off the data path: a little-endian fixed
+// header (magic, version, op, method, ndims, mode, rank, iters, seed),
+// the dimension list, then the raw float64 payload — the tensor in
+// natural linearization followed, for MTTKRP, by the row-major factor
+// matrices in mode order. Responses are equally lean: an I_n × C matrix
+// is (rows, cols, data); a CP result is (nfactors, rank, lambda,
+// factors...). See DESIGN.md §8 for the byte-level specification.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/cpd"
+	"repro/internal/mat"
+	"repro/internal/tensor"
+)
+
+// Op selects the request kind carried by a wire header.
+type Op uint8
+
+// Request kinds.
+const (
+	OpMTTKRP Op = 1
+	OpCP     Op = 2
+)
+
+// Wire-format constants. The magic doubles as an endianness check: a
+// big-endian writer produces a mismatched magic and is rejected before
+// any payload is read.
+const (
+	wireMagic   uint32 = 0x4B54544D // "MTTK" little-endian
+	wireVersion uint8  = 1
+
+	// fixedHeaderLen is the byte length of the header before the
+	// dimension list: magic(4) version(1) op(1) method(1) ndims(1)
+	// mode(4) rank(4) iters(4) seed(8).
+	fixedHeaderLen = 28
+)
+
+// Resource ceilings enforced at decode time, before any payload bytes are
+// read: a hostile header must not be able to size an allocation.
+const (
+	// MaxDims bounds the tensor order accepted on the wire.
+	MaxDims = 8
+	// MaxDim bounds each dimension.
+	MaxDim = 1 << 20
+	// MaxRank bounds the factor column count.
+	MaxRank = 1 << 12
+	// MaxIters bounds requested CP sweeps.
+	MaxIters = 1 << 10
+)
+
+// ErrPayloadTooLarge reports a structurally valid request whose payload
+// exceeds the listener's configured ceiling; servers map it to HTTP 413.
+var ErrPayloadTooLarge = errors.New("transport: request payload exceeds server limit")
+
+// Header is the decoded request header. One header fully determines the
+// payload length, so quota accounting and buffer sizing happen before the
+// first payload byte is read.
+type Header struct {
+	// Op is the request kind (OpMTTKRP or OpCP).
+	Op Op
+	// Method selects the MTTKRP algorithm (MTTKRP requests; CP uses it as
+	// the per-mode kernel choice with zero = the paper's hybrid).
+	Method core.Method
+	// Mode is the MTTKRP mode n (ignored for CP).
+	Mode int
+	// Rank is the factor column count C.
+	Rank int
+	// Iters is the CP sweep budget; 0 selects the server default.
+	Iters int
+	// Seed drives the CP initial guess, making served runs reproducible.
+	Seed int64
+	// Dims is the tensor shape.
+	Dims []int
+}
+
+// TensorElems returns the entry count of the request tensor.
+func (h *Header) TensorElems() int {
+	n := 1
+	for _, d := range h.Dims {
+		n *= d
+	}
+	return n
+}
+
+// FactorElems returns the total entries of the factor matrices shipped
+// after the tensor (MTTKRP requests carry one I_k × C factor per mode; CP
+// requests carry none — the server initializes from Seed).
+func (h *Header) FactorElems() int {
+	if h.Op != OpMTTKRP {
+		return 0
+	}
+	n := 0
+	for _, d := range h.Dims {
+		n += d * h.Rank
+	}
+	return n
+}
+
+// PayloadFloats returns the float64 count following the header.
+func (h *Header) PayloadFloats() int { return h.TensorElems() + h.FactorElems() }
+
+// PayloadBytes returns the byte length of the payload.
+func (h *Header) PayloadBytes() int64 { return 8 * int64(h.PayloadFloats()) }
+
+// WireSize returns the total request length in bytes: header plus payload.
+func (h *Header) WireSize() int64 {
+	return int64(fixedHeaderLen+4*len(h.Dims)) + h.PayloadBytes()
+}
+
+// maxWireFloats is the absolute payload ceiling (2^50 float64s, 8 PiB):
+// the overflow-safe product check in checkedPayloadFloats rejects against
+// it, so per-dim bounds alone never have to contain the product (8 dims
+// of 2^20 multiply out to 2^160, which wraps int64).
+const maxWireFloats = int64(1) << 50
+
+// checkedPayloadFloats computes the payload length with per-step overflow
+// guards; a product that would exceed maxWireFloats is rejected rather
+// than wrapped.
+func (h *Header) checkedPayloadFloats() (int64, error) {
+	elems := int64(1)
+	for _, d := range h.Dims {
+		if d < 1 || elems > maxWireFloats/int64(d) {
+			return 0, fmt.Errorf("%w: tensor %v overflows the %d-entry ceiling", ErrPayloadTooLarge, h.Dims, maxWireFloats)
+		}
+		elems *= int64(d)
+	}
+	floats := elems
+	if h.Op == OpMTTKRP {
+		// Each term is ≤ 2^20 · 2^12 under the per-field bounds; eight of
+		// them cannot overflow alongside elems ≤ 2^50.
+		for _, d := range h.Dims {
+			floats += int64(d) * int64(h.Rank)
+		}
+		if floats > maxWireFloats {
+			return 0, fmt.Errorf("%w: payload overflows the %d-entry ceiling", ErrPayloadTooLarge, maxWireFloats)
+		}
+	}
+	return floats, nil
+}
+
+// Validate checks structural bounds. maxPayloadBytes caps the payload (0
+// means no cap beyond the absolute maxWireFloats ceiling); exceeding it
+// returns ErrPayloadTooLarge, every other violation a plain error. The
+// size methods (TensorElems, PayloadFloats, PayloadBytes, WireSize) are
+// only meaningful on a validated header — Validate is where overflow is
+// ruled out.
+func (h *Header) Validate(maxPayloadBytes int64) error {
+	if h.Op != OpMTTKRP && h.Op != OpCP {
+		return fmt.Errorf("transport: unknown op %d", h.Op)
+	}
+	if h.Method < core.MethodAuto || h.Method > core.MethodReorder {
+		return fmt.Errorf("transport: unknown method %d", h.Method)
+	}
+	if len(h.Dims) < 2 || len(h.Dims) > MaxDims {
+		return fmt.Errorf("transport: %d dims, want 2..%d", len(h.Dims), MaxDims)
+	}
+	for i, d := range h.Dims {
+		if d < 1 || d > MaxDim {
+			return fmt.Errorf("transport: dim %d is %d, want 1..%d", i, d, MaxDim)
+		}
+	}
+	if h.Rank < 1 || h.Rank > MaxRank {
+		return fmt.Errorf("transport: rank %d, want 1..%d", h.Rank, MaxRank)
+	}
+	if h.Op == OpMTTKRP && (h.Mode < 0 || h.Mode >= len(h.Dims)) {
+		return fmt.Errorf("transport: mode %d out of range [0,%d)", h.Mode, len(h.Dims))
+	}
+	if h.Iters < 0 || h.Iters > MaxIters {
+		return fmt.Errorf("transport: iters %d, want 0..%d", h.Iters, MaxIters)
+	}
+	floats, err := h.checkedPayloadFloats()
+	if err != nil {
+		return err
+	}
+	if maxPayloadBytes > 0 && 8*floats > maxPayloadBytes {
+		return fmt.Errorf("%w: %d bytes > %d", ErrPayloadTooLarge, 8*floats, maxPayloadBytes)
+	}
+	return nil
+}
+
+// WriteHeader encodes h (unvalidated — callers validate) to w.
+func WriteHeader(w io.Writer, h *Header) error {
+	buf := make([]byte, fixedHeaderLen+4*len(h.Dims))
+	binary.LittleEndian.PutUint32(buf[0:], wireMagic)
+	buf[4] = wireVersion
+	buf[5] = byte(h.Op)
+	buf[6] = byte(h.Method)
+	buf[7] = byte(len(h.Dims))
+	binary.LittleEndian.PutUint32(buf[8:], uint32(h.Mode))
+	binary.LittleEndian.PutUint32(buf[12:], uint32(h.Rank))
+	binary.LittleEndian.PutUint32(buf[16:], uint32(h.Iters))
+	binary.LittleEndian.PutUint64(buf[20:], uint64(h.Seed))
+	for i, d := range h.Dims {
+		binary.LittleEndian.PutUint32(buf[fixedHeaderLen+4*i:], uint32(d))
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadHeader decodes a request header from r, rejecting bad magic,
+// versions and dimension counts before reading the dimension list. Callers
+// still run Validate before trusting the sizes.
+func ReadHeader(r io.Reader) (*Header, error) {
+	var fixed [fixedHeaderLen]byte
+	if _, err := io.ReadFull(r, fixed[:]); err != nil {
+		return nil, fmt.Errorf("transport: short header: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(fixed[0:]); got != wireMagic {
+		return nil, fmt.Errorf("transport: bad magic %#x (not a wire request, or big-endian writer)", got)
+	}
+	if fixed[4] != wireVersion {
+		return nil, fmt.Errorf("transport: wire version %d, want %d", fixed[4], wireVersion)
+	}
+	ndims := int(fixed[7])
+	if ndims < 2 || ndims > MaxDims {
+		return nil, fmt.Errorf("transport: %d dims, want 2..%d", ndims, MaxDims)
+	}
+	h := &Header{
+		Op:     Op(fixed[5]),
+		Method: core.Method(fixed[6]),
+		Mode:   int(binary.LittleEndian.Uint32(fixed[8:])),
+		Rank:   int(binary.LittleEndian.Uint32(fixed[12:])),
+		Iters:  int(binary.LittleEndian.Uint32(fixed[16:])),
+		Seed:   int64(binary.LittleEndian.Uint64(fixed[20:])),
+		Dims:   make([]int, ndims),
+	}
+	dims := make([]byte, 4*ndims)
+	if _, err := io.ReadFull(r, dims); err != nil {
+		return nil, fmt.Errorf("transport: short dims: %w", err)
+	}
+	for i := range h.Dims {
+		h.Dims[i] = int(binary.LittleEndian.Uint32(dims[4*i:]))
+	}
+	return h, nil
+}
+
+// scratchBytes is the chunk size of the streaming float codec: payloads
+// stream through a buffer this large, so a 1 GB tensor materializes once
+// (as float64s) rather than twice (raw bytes plus floats).
+const scratchBytes = 32 << 10
+
+// writeFloats streams data to w in little-endian chunks through scratch
+// (≥ 8 bytes; nil allocates a default chunk).
+func writeFloats(w io.Writer, data []float64, scratch []byte) error {
+	if len(scratch) < 8 {
+		scratch = make([]byte, scratchBytes)
+	}
+	for len(data) > 0 {
+		n := min(len(data), len(scratch)/8)
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint64(scratch[8*i:], math.Float64bits(data[i]))
+		}
+		if _, err := w.Write(scratch[:8*n]); err != nil {
+			return err
+		}
+		data = data[n:]
+	}
+	return nil
+}
+
+// readFloats fills dst from r, decoding little-endian float64s in chunks
+// through scratch. A short read returns io.ErrUnexpectedEOF.
+func readFloats(r io.Reader, dst []float64, scratch []byte) error {
+	if len(scratch) < 8 {
+		scratch = make([]byte, scratchBytes)
+	}
+	for len(dst) > 0 {
+		n := min(len(dst), len(scratch)/8)
+		if _, err := io.ReadFull(r, scratch[:8*n]); err != nil {
+			if errors.Is(err, io.EOF) {
+				err = io.ErrUnexpectedEOF
+			}
+			return fmt.Errorf("transport: short payload: %w", err)
+		}
+		for i := 0; i < n; i++ {
+			dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(scratch[8*i:]))
+		}
+		dst = dst[n:]
+	}
+	return nil
+}
+
+// WriteRequest streams one complete request — header, tensor, and (for
+// MTTKRP) the factor matrices — to w. Factor k must be I_k × C; strided
+// views are serialized row-contiguously.
+func WriteRequest(w io.Writer, h *Header, x *tensor.Dense, factors []mat.View) error {
+	if err := h.Validate(0); err != nil {
+		return err
+	}
+	if err := WriteHeader(w, h); err != nil {
+		return err
+	}
+	scratch := make([]byte, scratchBytes)
+	if err := writeFloats(w, x.Data(), scratch); err != nil {
+		return err
+	}
+	if h.Op != OpMTTKRP {
+		return nil
+	}
+	for k, u := range factors {
+		if u.R != x.Dim(k) || u.C != h.Rank {
+			return fmt.Errorf("transport: factor %d is %dx%d, want %dx%d", k, u.R, u.C, x.Dim(k), h.Rank)
+		}
+		if u.IsRowMajor() {
+			if err := writeFloats(w, u.Data[:u.R*u.C], scratch); err != nil {
+				return err
+			}
+			continue
+		}
+		row := make([]float64, u.C)
+		for i := 0; i < u.R; i++ {
+			for j := 0; j < u.C; j++ {
+				row[j] = u.At(i, j)
+			}
+			if err := writeFloats(w, row, scratch); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// DecodeRequest reads the payload a validated header promises into buf
+// (length ≥ h.PayloadFloats()) and returns the tensor and factor views
+// aliasing it. The caller owns buf and must keep it live until the
+// computation completes — this is the zero-copy step that lets the server
+// decode into a pooled buffer.
+func DecodeRequest(r io.Reader, h *Header, buf []float64, scratch []byte) (*tensor.Dense, []mat.View, error) {
+	need := h.PayloadFloats()
+	if len(buf) < need {
+		return nil, nil, fmt.Errorf("transport: decode buffer holds %d floats, need %d", len(buf), need)
+	}
+	if err := readFloats(r, buf[:need], scratch); err != nil {
+		return nil, nil, err
+	}
+	x := tensor.FromData(buf[:h.TensorElems()], h.Dims...)
+	if h.Op != OpMTTKRP {
+		return x, nil, nil
+	}
+	factors := make([]mat.View, len(h.Dims))
+	off := h.TensorElems()
+	for k, d := range h.Dims {
+		factors[k] = mat.FromRowMajor(buf[off:off+d*h.Rank], d, h.Rank)
+		off += d * h.Rank
+	}
+	return x, factors, nil
+}
+
+// MatrixWireSize returns the encoded length of an r×c matrix response.
+func MatrixWireSize(r, c int) int64 { return 8 + 8*int64(r)*int64(c) }
+
+// WriteMatrix encodes a matrix response: rows, cols (uint32 LE), then the
+// row-major float64 data. scratch is the streaming-codec chunk buffer
+// (nil allocates one; servers pass their pooled buffer).
+func WriteMatrix(w io.Writer, m mat.View, scratch []byte) error {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(m.R))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(m.C))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(scratch) < 8 {
+		scratch = make([]byte, scratchBytes)
+	}
+	if m.IsRowMajor() {
+		return writeFloats(w, m.Data[:m.R*m.C], scratch)
+	}
+	row := make([]float64, m.C)
+	for i := 0; i < m.R; i++ {
+		for j := 0; j < m.C; j++ {
+			row[j] = m.At(i, j)
+		}
+		if err := writeFloats(w, row, scratch); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadMatrixInto decodes a matrix response into dst when it matches the
+// wire dimensions (the steady-state client path — no allocation); a zero
+// dst allocates. maxElems bounds the accepted size.
+func ReadMatrixInto(r io.Reader, dst mat.View, maxElems int) (mat.View, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return mat.View{}, fmt.Errorf("transport: short matrix header: %w", err)
+	}
+	rows := int(binary.LittleEndian.Uint32(hdr[0:]))
+	cols := int(binary.LittleEndian.Uint32(hdr[4:]))
+	// Bound each side before multiplying: two uint32s can wrap rows*cols
+	// past the maxElems guard.
+	if rows < 1 || rows > MaxDim || cols < 1 || cols > MaxRank ||
+		(maxElems > 0 && rows*cols > maxElems) {
+		return mat.View{}, fmt.Errorf("transport: implausible %dx%d matrix response", rows, cols)
+	}
+	if dst.Data == nil {
+		dst = mat.NewDense(rows, cols)
+	}
+	if dst.R != rows || dst.C != cols || !dst.IsRowMajor() {
+		return mat.View{}, fmt.Errorf("transport: dst is %dx%d (row-major=%v), wire carries %dx%d",
+			dst.R, dst.C, dst.IsRowMajor(), rows, cols)
+	}
+	if err := readFloats(r, dst.Data[:rows*cols], nil); err != nil {
+		return mat.View{}, err
+	}
+	return dst, nil
+}
+
+// WriteKTensor encodes a CP result body: nfactors, rank (uint32 LE),
+// lambda, then each factor as rows (uint32) + row-major data (cols =
+// rank). scratch as in WriteMatrix.
+func WriteKTensor(w io.Writer, k *cpd.KTensor, scratch []byte) error {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(k.Factors)))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(k.Rank()))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(scratch) < 8 {
+		scratch = make([]byte, scratchBytes)
+	}
+	if err := writeFloats(w, k.Lambda, scratch); err != nil {
+		return err
+	}
+	for _, u := range k.Factors {
+		var rh [4]byte
+		binary.LittleEndian.PutUint32(rh[:], uint32(u.R))
+		if _, err := w.Write(rh[:]); err != nil {
+			return err
+		}
+		if !u.IsRowMajor() {
+			return errors.New("transport: non-row-major factor in CP result")
+		}
+		if err := writeFloats(w, u.Data[:u.R*u.C], scratch); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadKTensor decodes a CP result body.
+func ReadKTensor(r io.Reader) (*cpd.KTensor, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("transport: short ktensor header: %w", err)
+	}
+	nf := int(binary.LittleEndian.Uint32(hdr[0:]))
+	rank := int(binary.LittleEndian.Uint32(hdr[4:]))
+	if nf < 1 || nf > MaxDims || rank < 1 || rank > MaxRank {
+		return nil, fmt.Errorf("transport: implausible ktensor response (%d factors, rank %d)", nf, rank)
+	}
+	k := &cpd.KTensor{Lambda: make([]float64, rank), Factors: make([]mat.View, nf)}
+	if err := readFloats(r, k.Lambda, nil); err != nil {
+		return nil, err
+	}
+	for i := range k.Factors {
+		var rh [4]byte
+		if _, err := io.ReadFull(r, rh[:]); err != nil {
+			return nil, fmt.Errorf("transport: short factor header: %w", err)
+		}
+		rows := int(binary.LittleEndian.Uint32(rh[:]))
+		if rows < 1 || rows > MaxDim {
+			return nil, fmt.Errorf("transport: implausible factor rows %d", rows)
+		}
+		k.Factors[i] = mat.NewDense(rows, rank)
+		if err := readFloats(r, k.Factors[i].Data, nil); err != nil {
+			return nil, err
+		}
+	}
+	return k, nil
+}

@@ -23,6 +23,7 @@ package repro
 
 import (
 	"math/rand"
+	"net"
 
 	"repro/internal/core"
 	"repro/internal/cpd"
@@ -31,6 +32,7 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/serve"
 	"repro/internal/tensor"
+	"repro/internal/transport"
 	"repro/internal/ttm"
 	"repro/internal/tucker"
 )
@@ -135,6 +137,60 @@ type CPRequest = serve.CPRequest
 
 // NewServer creates a serving runtime with its own worker pool.
 func NewServer(cfg ServerConfig) *Server { return serve.New(cfg) }
+
+// ErrDraining reports a submission refused because a Server (or the
+// transport in front of it) has begun a graceful drain.
+var ErrDraining = serve.ErrDraining
+
+// Transport is the network front end of a Server: an HTTP listener
+// speaking a compact binary wire format for dense tensors, with per-client
+// token-bucket quotas and graceful drain. Create with NewTransport; attach
+// a listener with its Serve/ListenAndServe methods or ServeTransport.
+type Transport = transport.Server
+
+// TransportConfig sizes a Transport: the scheduler underneath, quotas,
+// and payload ceilings.
+type TransportConfig = transport.Config
+
+// QuotaConfig bounds each client's request rate and in-flight payload
+// bytes on a Transport (clients are keyed by the X-API-Key header).
+type QuotaConfig = transport.QuotaConfig
+
+// TransportStats snapshots a Transport's counters (requests, rejections,
+// bytes, decode/compute split) plus the scheduler's.
+type TransportStats = transport.Stats
+
+// Client speaks the binary wire protocol to a Transport listener.
+type Client = transport.Client
+
+// TransportError is a non-2xx response surfaced by a Client: quota
+// rejections arrive as StatusCode 429, drains as 503.
+type TransportError = transport.HTTPError
+
+// TransportTiming is one round trip's cost split: server-side wire decode
+// and kernel compute, plus the client-observed total.
+type TransportTiming = transport.Timing
+
+// NewTransport builds a network serving front end and its scheduler.
+func NewTransport(cfg TransportConfig) *Transport { return transport.NewServer(cfg) }
+
+// ListenAndServe runs a Transport on addr until SIGINT/SIGTERM, then
+// drains gracefully (admitted tickets finish, new submissions see 503)
+// and returns.
+func ListenAndServe(addr string, cfg TransportConfig) error {
+	return transport.ListenAndServe(addr, cfg)
+}
+
+// ServeTransport serves t on l until SIGINT/SIGTERM, then drains. notify,
+// when non-nil, receives the resolved listen address before serving
+// starts (how a daemon reports a :0 port).
+func ServeTransport(t *Transport, l net.Listener, notify func(net.Addr)) error {
+	return transport.ServeUntilSignal(t, l, notify)
+}
+
+// NewClient returns a Client for the Transport listener at baseURL
+// (e.g. "http://127.0.0.1:8080").
+func NewClient(baseURL string) *Client { return transport.NewClient(baseURL) }
 
 // MTTKRP computes M = X_(n) · (U_{N-1} ⊙ ⋯ ⊙ U_{n+1} ⊙ U_{n-1} ⊙ ⋯ ⊙ U₀)
 // with the method selected in opts (MethodAuto by default), returning the

@@ -1,0 +1,88 @@
+package repro_test
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// TestTransportPublicAPI exercises the exported network-serving surface:
+// NewTransport + a live listener, NewClient round trips for MTTKRP and CP,
+// stats, and a graceful Shutdown that flips submissions to ErrDraining
+// underneath.
+func TestTransportPublicAPI(t *testing.T) {
+	ts := repro.NewTransport(repro.TransportConfig{
+		Serve: repro.ServerConfig{Workers: 2},
+		Quota: repro.QuotaConfig{RequestsPerSec: 1000, Burst: 100},
+	})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- ts.Serve(l) }()
+
+	c := repro.NewClient("http://" + l.Addr().String())
+	c.APIKey = "api-test"
+	if err := c.Healthy(); err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+
+	rng := rand.New(rand.NewSource(4))
+	x := repro.RandomTensor(rng, 11, 9, 7)
+	u := make([]repro.Matrix, x.Order())
+	for k := range u {
+		u[k] = repro.RandomMatrix(x.Dim(k), 5, rng)
+	}
+	got, tm, err := c.MTTKRP(repro.Matrix{}, x, u, 2, repro.MethodAuto)
+	if err != nil {
+		t.Fatalf("served MTTKRP: %v", err)
+	}
+	want := repro.MTTKRP(x, u, 2, repro.MTTKRPOptions{})
+	for i := 0; i < want.R; i++ {
+		for j := 0; j < want.C; j++ {
+			if d := got.At(i, j) - want.At(i, j); d > 1e-12 || d < -1e-12 {
+				t.Fatalf("served result diverges at (%d,%d)", i, j)
+			}
+		}
+	}
+	if tm.Compute <= 0 || tm.Total <= 0 {
+		t.Fatalf("timing not reported: %+v", tm)
+	}
+
+	cp, _, err := c.CP(x, 3, 4, 11)
+	if err != nil {
+		t.Fatalf("served CP: %v", err)
+	}
+	if cp.Iters != 4 || len(cp.K.Factors) != x.Order() {
+		t.Fatalf("served CP: %+v", cp)
+	}
+
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests < 2 || st.Serve.Completed < 2 {
+		t.Fatalf("stats %+v: requests unaccounted", st)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := ts.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-served; err != nil {
+		t.Fatalf("Serve after shutdown: %v", err)
+	}
+	var te *repro.TransportError
+	if err := c.Healthy(); err == nil {
+		t.Fatal("healthz succeeded after shutdown")
+	} else if errors.As(err, &te) && te.StatusCode != 503 {
+		t.Fatalf("healthz after shutdown: %v", err)
+	}
+}
