@@ -9,8 +9,10 @@
 //	mttkrp-bench -fig 7 -paper             # paper-sized (needs a big server)
 //	mttkrp-bench -serve                    # serving load generator, conc 1/4/16
 //	mttkrp-bench -serve -conc 4 -requests 256 -sdims 60x50x40 -rank 16
+//	mttkrp-bench -serve -mix small:8,large:1   # heterogeneous mix: cost-aware vs even-split, per-class p99
 //	mttkrp-bench -serve-http               # HTTP load against an in-process listener
 //	mttkrp-bench -serve-http -addr http://host:8080 -requests 256
+//	mttkrp-bench -serve-http -mix small:8,large:1  # mixed payloads over the wire
 //
 // Each figure prints one table per subfigure with the same series the
 // paper plots, followed by OBS lines summarizing the shape claims
@@ -60,6 +62,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	requests := fs.Int("requests", 64, "serving: requests per concurrency level")
 	sdims := fs.String("sdims", "48x40x36", "serving: tensor dims, e.g. 60x50x40")
 	rank := fs.Int("rank", 16, "serving: CP rank / factor columns")
+	mixSpec := fs.String("mix", "", "serving: heterogeneous workload mix, e.g. small:8,large:1 (classes small, medium, large scaled from -sdims/-rank; -serve compares cost-aware vs even-split admission per class with p99)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return err
@@ -69,6 +72,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	if *serveMode && *serveHTTP {
 		return cli.UsageError{Msg: "-serve and -serve-http are mutually exclusive"}
+	}
+	if *mixSpec != "" && !*serveMode && !*serveHTTP {
+		return cli.UsageError{Msg: "-mix applies to the serving load generators; pass -serve or -serve-http"}
 	}
 	if *serveMode || *serveHTTP {
 		dims, err := cli.ParseDims(*sdims)
@@ -89,6 +95,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 				Rank:     *rank,
 				Conc:     levels,
 				Requests: *requests,
+				Mix:      *mixSpec,
 				Out:      func(format string, a ...any) { fmt.Fprintf(stdout, format, a...) },
 			})
 			if err != nil {
@@ -107,13 +114,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stdout, "# MTTKRP serving load — dims %v, rank %d, %d requests/level, GOMAXPROCS=%d\n\n",
 			dims, *rank, *requests, runtime.GOMAXPROCS(0))
 		start := time.Now()
-		t := bench.ServeLoad(bench.ServeLoadConfig{
+		t, err := bench.ServeLoad(bench.ServeLoadConfig{
 			Dims:     dims,
 			Rank:     *rank,
 			Conc:     levels,
 			Requests: *requests,
+			Mix:      *mixSpec,
 			Out:      func(format string, a ...any) { fmt.Fprintf(stdout, format, a...) },
 		})
+		if err != nil {
+			return err
+		}
 		fmt.Fprintln(stdout)
 		t.Fprint(stdout)
 		if *csvDir != "" {

@@ -63,6 +63,52 @@ func TestRunServeLoadTiny(t *testing.T) {
 	}
 }
 
+// TestRunServeMixTiny drives the heterogeneous-workload policy comparison
+// end to end: per-class rows for both admission policies with a p99
+// column.
+func TestRunServeMixTiny(t *testing.T) {
+	var out, errOut bytes.Buffer
+	err := run([]string{"-serve", "-mix", "small:4,large:1", "-conc", "2", "-requests", "12", "-sdims", "16x12x10", "-rank", "8"}, &out, &errOut)
+	if err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errOut.String())
+	}
+	s := out.String()
+	for _, want := range []string{"Mixed serving load", "cost-aware", "even-split", "small", "large", "p99 ms", "OBS mix conc=2", "# done in"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestRunServeHTTPMixTiny drives the mixed workload over the in-process
+// HTTP listener.
+func TestRunServeHTTPMixTiny(t *testing.T) {
+	var out, errOut bytes.Buffer
+	err := run([]string{"-serve-http", "-mix", "small:4,large:1", "-conc", "2", "-requests", "12", "-sdims", "16x12x10", "-rank", "8"}, &out, &errOut)
+	if err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errOut.String())
+	}
+	s := out.String()
+	for _, want := range []string{"HTTP mixed serving load", "small", "large", "p99 ms", "rejected", "# done in"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunMixFlagValidation(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-mix", "small:1"}, &out, &errOut); err == nil {
+		t.Fatal("-mix without a serving mode accepted")
+	}
+	if err := run([]string{"-serve", "-mix", "nope"}, &out, &errOut); err == nil {
+		t.Fatal("malformed -mix accepted")
+	}
+	if err := run([]string{"-serve", "-mix", "galactic:1"}, &out, &errOut); err == nil {
+		t.Fatal("unknown mix class accepted")
+	}
+}
+
 func TestRunServeBadDims(t *testing.T) {
 	var out, errOut bytes.Buffer
 	if err := run([]string{"-serve", "-sdims", "nope"}, &out, &errOut); err == nil {

@@ -20,8 +20,17 @@
 //
 // Usage:
 //
-//	mttkrp-serve [-workers N] [-minworkers N] [-maxactive N] [-nobatch]
-//	mttkrp-serve -listen :8080 [-rps R] [-burst B] [-maxinflight BYTES] [-maxpayload BYTES]
+//	mttkrp-serve [-workers N] [-minworkers N] [-maxactive N] [-nobatch] [-evensplit] [-maxshare F]
+//	mttkrp-serve -listen :8080 [-rps R] [-burst B] [-maxinflight BYTES] [-maxpayload BYTES] [-maxqueuedelay D]
+//
+// Admission is cost-aware by default: budgets are weighted by request
+// cost (tensor size × rank), the queue ages so small requests are not
+// convoyed behind large ones, and running leases are rebalanced at
+// kernel phase boundaries; -evensplit restores the historical
+// width ÷ active FIFO policy. HTTP clients may send X-Cost-Hint and
+// X-Priority (low|normal|high) headers; with -maxqueuedelay the daemon
+// sheds (429 + Retry-After) requests whose projected queue delay
+// exceeds it.
 package main
 
 import (
@@ -163,6 +172,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	minWorkers := fs.Int("minworkers", 1, "admission floor: minimum workers per request")
 	maxActive := fs.Int("maxactive", 0, "max concurrently executing requests (0 = workers/minworkers)")
 	noBatch := fs.Bool("nobatch", false, "disable same-shape request batching")
+	evenSplit := fs.Bool("evensplit", false, "revert admission to the even-split FIFO policy (baseline; default is cost-aware with an aging queue)")
+	maxShare := fs.Float64("maxshare", 0, "cost-aware admission: cap one request's share of the pool width, 0 < v <= 1 (0 = no cap)")
+	maxQueueDelay := fs.Duration("maxqueuedelay", 0, "HTTP: shed requests (429) whose projected queue delay exceeds this (0 = queue everything)")
 	listen := fs.String("listen", "", "serve the binary HTTP transport on this address (e.g. :8080) instead of stdin-jsonl")
 	rps := fs.Float64("rps", 0, "HTTP: per-client sustained request rate (0 = unlimited)")
 	burst := fs.Int("burst", 0, "HTTP: per-client burst depth (0 = ceil(rps))")
@@ -177,8 +189,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	if fs.NArg() > 0 {
 		return cli.UsageError{Msg: fmt.Sprintf("unexpected argument %q (requests arrive on stdin or -listen)", fs.Arg(0))}
 	}
-	if *listen == "" && (*rps != 0 || *burst != 0 || *maxInflight != 0 || *maxPayload != 0) {
-		return cli.UsageError{Msg: "-rps/-burst/-maxinflight/-maxpayload apply to the HTTP front end; pass -listen"}
+	if *listen == "" && (*rps != 0 || *burst != 0 || *maxInflight != 0 || *maxPayload != 0 || *maxQueueDelay != 0) {
+		return cli.UsageError{Msg: "-rps/-burst/-maxinflight/-maxpayload/-maxqueuedelay apply to the HTTP front end; pass -listen"}
 	}
 
 	serveCfg := repro.ServerConfig{
@@ -186,6 +198,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		MinWorkers:      *minWorkers,
 		MaxActive:       *maxActive,
 		DisableBatching: *noBatch,
+		EvenSplit:       *evenSplit,
+		MaxShare:        *maxShare,
 	}
 
 	if *listen != "" {
@@ -197,6 +211,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 				MaxInflightBytes: *maxInflight,
 			},
 			MaxPayloadBytes: *maxPayload,
+			MaxQueueDelay:   *maxQueueDelay,
 		}, stderr)
 	}
 
@@ -293,8 +308,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		return fmt.Errorf("stdin: %w", err)
 	}
 	st := srv.Stats()
-	fmt.Fprintf(stderr, "mttkrp-serve: done — %d submitted, %d completed (%d failed), %d batches (%d coalesced), peak %d active\n",
-		st.Submitted, st.Completed, st.Failed, st.Batches, st.Coalesced, st.PeakActive)
+	fmt.Fprintf(stderr, "mttkrp-serve: done — %d submitted, %d completed (%d failed), %d batches (%d coalesced), peak %d active / %d queued, max queue wait %.1f ms, %d aged reorders\n",
+		st.Submitted, st.Completed, st.Failed, st.Batches, st.Coalesced, st.PeakActive, st.PeakQueued, st.MaxQueueWaitMs, st.Reordered)
 	return nil
 }
 
@@ -312,8 +327,8 @@ func runHTTP(addr string, cfg repro.TransportConfig, stderr io.Writer) error {
 		fmt.Fprintf(stderr, "mttkrp-serve: listening on http://%s (%d workers)\n", a, ts.Workers())
 	})
 	st := ts.Stats()
-	fmt.Fprintf(stderr, "mttkrp-serve: drained — %d requests (%d quota-rejected, %d drain-rejected, %d bad, %d failed), %s in, %s out\n",
-		st.Requests, st.QuotaRejected, st.DrainRejected, st.BadRequests, st.Failed,
+	fmt.Fprintf(stderr, "mttkrp-serve: drained — %d requests (%d quota-rejected, %d shed, %d drain-rejected, %d bad, %d failed), %s in, %s out\n",
+		st.Requests, st.QuotaRejected, st.ShedRejected, st.DrainRejected, st.BadRequests, st.Failed,
 		cli.FormatBytes(st.BytesIn), cli.FormatBytes(st.BytesOut))
 	return err
 }

@@ -33,6 +33,12 @@ type HTTPLoadConfig struct {
 	// Workers sizes the in-process server pool (0 = GOMAXPROCS); ignored
 	// when URL targets an external listener.
 	Workers int
+	// Mix, when non-empty, ships a heterogeneous workload instead of one
+	// shape: a weighted class mix like "small:8,large:1" (classes scaled
+	// from Dims/Rank, as in ServeLoadConfig.Mix), with per-class
+	// p50/p95/p99 rows. The served policy is whatever the listener runs;
+	// the policy A/B comparison lives in the in-process -serve mode.
+	Mix string
 	// Out receives OBS commentary lines (may be nil).
 	Out func(format string, args ...any)
 }
@@ -78,6 +84,11 @@ func HTTPLoad(cfg HTTPLoadConfig) (*Table, error) {
 		cfg.Out("OBS http: started in-process listener %s (%d workers)\n", url, srv.Workers())
 	}
 
+	client := transport.NewClient(url)
+	if cfg.Mix != "" {
+		return httpMixLoad(cfg, client, url)
+	}
+
 	rng := rand.New(rand.NewSource(99))
 	x := tensor.Random(rng, cfg.Dims...)
 	u := make([]mat.View, x.Order())
@@ -89,9 +100,8 @@ func HTTPLoad(cfg HTTPLoadConfig) (*Table, error) {
 	tb := NewTable(
 		fmt.Sprintf("HTTP transport throughput — MTTKRP %v rank %d mode %d, %d requests per level, %s/request on the wire",
 			cfg.Dims, cfg.Rank, cfg.Mode, cfg.Requests, cli.FormatBytes(payload)),
-		"conc", "req/s", "MB/s in", "p50 ms", "p95 ms", "decode ms/req", "compute ms/req", "decode share", "rejected")
+		"conc", "req/s", "MB/s in", "p50 ms", "p95 ms", "p99 ms", "decode ms/req", "compute ms/req", "decode share", "rejected")
 
-	client := transport.NewClient(url)
 	// Warm the connection pool and the server's shape-keyed workspaces.
 	if _, _, err := client.MTTKRP(mat.View{}, x, u, cfg.Mode, 0); err != nil {
 		return nil, fmt.Errorf("bench: warmup request against %s failed: %w", url, err)
@@ -113,12 +123,111 @@ func HTTPLoad(cfg HTTPLoadConfig) (*Table, error) {
 		tb.Add(fmt.Sprintf("%d", conc),
 			fmt.Sprintf("%.1f", r.res.throughput),
 			fmt.Sprintf("%.1f", mbps),
-			fmt.Sprintf("%.3f", ms(r.res.p50)), fmt.Sprintf("%.3f", ms(r.res.p95)),
+			fmt.Sprintf("%.3f", ms(r.res.p50)), fmt.Sprintf("%.3f", ms(r.res.p95)), fmt.Sprintf("%.3f", ms(r.res.p99)),
 			fmt.Sprintf("%.3f", decodeMs), fmt.Sprintf("%.3f", computeMs),
 			fmt.Sprintf("%.1f%%", share),
 			fmt.Sprintf("%d", r.rejected))
 		cfg.Out("OBS http conc=%d: %.1f req/s (%.1f MB/s in), decode %.3f ms vs compute %.3f ms per request (%.1f%% decode), %d rejected\n",
 			conc, r.res.throughput, mbps, decodeMs, computeMs, share, r.rejected)
+	}
+	return tb, nil
+}
+
+// httpMixLoad ships the heterogeneous class mix over the wire: every
+// request carries its class's full tensor payload, and latency percentiles
+// are reported per class — the network-path view of the convoy/tail
+// measurement (including p99, which one-shape runs hide).
+func httpMixLoad(cfg HTTPLoadConfig, client *transport.Client, url string) (*Table, error) {
+	mix, err := ParseMix(cfg.Mix)
+	if err != nil {
+		return nil, fmt.Errorf("bench: -mix: %w", err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	classes := make([]mixClass, len(mix))
+	for i, m := range mix {
+		dims, rank, err := mixShape(m.Name, cfg.Dims, cfg.Rank)
+		if err != nil {
+			return nil, err
+		}
+		x := tensor.Random(rng, dims...)
+		u := make([]mat.View, x.Order())
+		for k := range u {
+			u[k] = mat.RandomDense(x.Dim(k), rank, rng)
+		}
+		mode := cfg.Mode
+		if mode >= x.Order() {
+			mode = x.Order() / 2
+		}
+		classes[i] = mixClass{name: m.Name, x: x, u: u, mode: mode, rank: rank}
+	}
+	for _, c := range classes {
+		if _, _, err := client.MTTKRP(mat.View{}, c.x, c.u, c.mode, 0); err != nil {
+			return nil, fmt.Errorf("bench: warmup request against %s failed: %w", url, err)
+		}
+	}
+
+	tb := NewTable(
+		fmt.Sprintf("HTTP mixed serving load — base %v rank %d, mix %s, %d requests per level",
+			cfg.Dims, cfg.Rank, cfg.Mix, cfg.Requests),
+		"conc", "class", "req/s", "p50 ms", "p95 ms", "p99 ms", "rejected")
+
+	for _, conc := range cfg.Conc {
+		seq := classSequence(mix, cfg.Requests, int64(conc))
+		latencies := make([]time.Duration, len(seq))
+		accepted := make([]bool, len(seq))
+		rejected := make([]atomic.Int64, len(classes))
+		idx := 0
+		var mu sync.Mutex
+		start := time.Now()
+		var wg sync.WaitGroup
+		for w := 0; w < conc; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				dsts := make([]mat.View, len(classes))
+				for c := range classes {
+					dsts[c] = mat.NewDense(classes[c].x.Dim(classes[c].mode), classes[c].rank)
+				}
+				for {
+					mu.Lock()
+					i := idx
+					idx++
+					mu.Unlock()
+					if i >= len(seq) {
+						return
+					}
+					c := &classes[seq[i]]
+					t0 := time.Now()
+					_, _, err := client.MTTKRP(dsts[seq[i]], c.x, c.u, c.mode, 0)
+					if err != nil {
+						rejected[seq[i]].Add(1)
+						continue
+					}
+					latencies[i] = time.Since(t0)
+					accepted[i] = true
+				}
+			}()
+		}
+		wg.Wait()
+		wall := time.Since(start)
+		perClass := make([][]time.Duration, len(classes))
+		for i := range seq {
+			if accepted[i] {
+				perClass[seq[i]] = append(perClass[seq[i]], latencies[i])
+			}
+		}
+		for c, lats := range perClass {
+			if len(lats) == 0 && rejected[c].Load() == 0 {
+				continue
+			}
+			r := summarize(lats, wall)
+			tb.Add(fmt.Sprintf("%d", conc), classes[c].name,
+				fmt.Sprintf("%.1f", r.throughput),
+				fmt.Sprintf("%.3f", ms(r.p50)), fmt.Sprintf("%.3f", ms(r.p95)), fmt.Sprintf("%.3f", ms(r.p99)),
+				fmt.Sprintf("%d", rejected[c].Load()))
+			cfg.Out("OBS http mix conc=%d class=%s: %.1f req/s, p99 %.3f ms\n",
+				conc, classes[c].name, r.throughput, ms(r.p99))
+		}
 	}
 	return tb, nil
 }

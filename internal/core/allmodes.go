@@ -36,6 +36,7 @@ import (
 // its intermediates from one reusable workspace.
 func SweepAll(x *tensor.Dense, u []mat.View, opts Options, update func(n int, m mat.View)) {
 	validate(x, u, 0)
+	opts.notifyPhase()
 	n := x.Order()
 	s := splitPoint(x)
 	c := rank(u)
@@ -61,6 +62,7 @@ func SweepAll(x *tensor.Dense, u []mat.View, opts Options, update func(n int, m 
 
 	leftDims := x.Dims()[:s]
 	for mode := 0; mode < s; mode++ {
+		opts.notifyPhase() // per-mode phase boundary: budget changes land here
 		sw = startWatch()
 		m := deriveFromIntermediate(p, ws, t, r, leftDims, u[:s], mode)
 		bd.add(PhaseGEMV, sw.elapsed())
@@ -82,6 +84,7 @@ func SweepAll(x *tensor.Dense, u []mat.View, opts Options, update func(n int, m 
 
 	rightDims := x.Dims()[s:]
 	for mode := s; mode < n; mode++ {
+		opts.notifyPhase()
 		sw = startWatch()
 		m := deriveFromIntermediate(p, ws, t, l, rightDims, u[s:], mode-s)
 		bd.add(PhaseGEMV, sw.elapsed())

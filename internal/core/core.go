@@ -91,6 +91,22 @@ type Options struct {
 	// parameter (for example the reorder baseline's Unfold and
 	// tensor.Norm) still run on the default pool.
 	Pool parallel.Executor
+	// PhaseNotify, when non-nil, is invoked at kernel phase boundaries —
+	// the entry of each MTTKRP computation, and between the per-mode
+	// derivations of SweepAll — with no dispatch in flight on the
+	// executor. The serving scheduler hooks parallel.Lease.Reconcile here
+	// so a mid-request worker-budget change (shrink or grow) applies at
+	// the next safe point rather than only between requests;
+	// instrumentation can use it to observe kernel progress. It runs on
+	// the computing goroutine and must not dispatch on opts.Pool.
+	PhaseNotify func()
+}
+
+// notifyPhase invokes the phase-boundary hook, if any.
+func (o Options) notifyPhase() {
+	if o.PhaseNotify != nil {
+		o.PhaseNotify()
+	}
 }
 
 // pool resolves the execution context for this computation; nil (and the
@@ -117,6 +133,7 @@ func Compute(method Method, x *tensor.Dense, u []mat.View, n int, opts Options) 
 func ComputeInto(dst mat.View, method Method, x *tensor.Dense, u []mat.View, n int, opts Options) mat.View {
 	validate(x, u, n)
 	validateDst(dst, x.Dim(n), rank(u))
+	opts.notifyPhase()
 	switch method {
 	case MethodOneStep:
 		return OneStepInto(dst, x, u, n, opts)

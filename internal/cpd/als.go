@@ -55,6 +55,14 @@ type Config struct {
 	// sweeps allocate no kernel scratch in steady state. Concurrent
 	// decompositions should use one pool or lease each.
 	Pool parallel.Executor
+	// PhaseNotify, when non-nil, is invoked after every completed ALS (or
+	// NNALS) sweep, once any pending worker-budget change on Pool has been
+	// applied (parallel.Reconcile runs first). A serving scheduler that
+	// resizes a running request's lease relies on these sweep boundaries
+	// as the safe points where the change lands; tests and
+	// instrumentation can observe the per-sweep granted width here. It
+	// runs on the decomposition goroutine and must not dispatch on Pool.
+	PhaseNotify func()
 }
 
 func (c Config) withDefaults() Config {
@@ -134,6 +142,10 @@ func ALS(x *tensor.Dense, cfg Config) (*Result, error) {
 		Breakdown:        cfg.Breakdown,
 		BlasOnlyParallel: cfg.BlasOnlyParallel,
 		Pool:             cfg.Pool,
+		// Every per-mode MTTKRP entry (and SweepAll mode derivation) is a
+		// phase boundary: apply any budget change the admission policy
+		// issued while the previous region was in flight.
+		PhaseNotify: func() { parallel.Reconcile(cfg.Pool) },
 	}
 	normX := x.Norm(cfg.Threads)
 	normX2 := normX * normX
@@ -180,6 +192,14 @@ func ALS(x *tensor.Dense, cfg Config) (*Result, error) {
 		}
 		res.IterTimes = append(res.IterTimes, time.Since(start))
 		res.Iters = iter + 1
+
+		// Sweep boundary: the lease-rebalancing safe point. Apply any
+		// pending Resize from the admission policy, then let observers see
+		// the reconciled width.
+		parallel.Reconcile(cfg.Pool)
+		if cfg.PhaseNotify != nil {
+			cfg.PhaseNotify()
+		}
 
 		fit := computeFit(normX, normX2, k, grams, mLast)
 		res.FitHistory = append(res.FitHistory, fit)

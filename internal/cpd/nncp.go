@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mat"
+	"repro/internal/parallel"
 	"repro/internal/tensor"
 )
 
@@ -56,7 +57,12 @@ func NNALS(x *tensor.Dense, cfg Config) (*Result, error) {
 		k = RandomKTensor(rng, x.Dims(), c) // uniform [0,1): already nonnegative
 	}
 
-	opts := core.Options{Threads: cfg.Threads, Breakdown: cfg.Breakdown, Pool: cfg.Pool}
+	opts := core.Options{
+		Threads:     cfg.Threads,
+		Breakdown:   cfg.Breakdown,
+		Pool:        cfg.Pool,
+		PhaseNotify: func() { parallel.Reconcile(cfg.Pool) },
+	}
 	normX := x.Norm(cfg.Threads)
 	dsts := make([]mat.View, n)
 	for i := 0; i < n; i++ {
@@ -106,6 +112,12 @@ func NNALS(x *tensor.Dense, cfg Config) (*Result, error) {
 		}
 		res.IterTimes = append(res.IterTimes, time.Since(start))
 		res.Iters = iter + 1
+
+		// Sweep boundary: apply pending lease-budget changes (see ALS).
+		parallel.Reconcile(cfg.Pool)
+		if cfg.PhaseNotify != nil {
+			cfg.PhaseNotify()
+		}
 
 		fit := computeFit(normX, normX*normX, k, grams, mLast)
 		res.FitHistory = append(res.FitHistory, fit)

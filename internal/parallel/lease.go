@@ -153,6 +153,28 @@ func (l *Lease) Resize(width int) {
 	l.reconcile()
 }
 
+// Reconcile applies any pending budget change (a Resize issued by the
+// admission policy while this lease was mid-region) and returns the
+// granted width. It is the phase-boundary hook of the serving stack:
+// CP-ALS calls it between sweeps and the MTTKRP drivers between mode
+// computations (via core.Options.PhaseNotify), so a scheduler can shrink
+// or grow a running request's worker budget at a safe point instead of
+// only between requests. Unlike the opportunistic reconciliation inside
+// Effective (which TryLocks and gives up under contention), Reconcile
+// blocks until the lease is idle, so the pending target is guaranteed
+// applied when it returns. It must be called from the lease's dispatching
+// goroutine (or with no region in flight); calling it from inside a
+// region body would deadlock like any other dispatch.
+func (l *Lease) Reconcile() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 1
+	}
+	l.applyTargetLocked()
+	return 1 + len(l.slots)
+}
+
 // applyTargetLocked reconciles the reservation with the target width.
 // Callers hold l.mu.
 func (l *Lease) applyTargetLocked() {

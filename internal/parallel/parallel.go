@@ -76,6 +76,27 @@ func OrDefault(p Executor) Executor {
 	return p
 }
 
+// Reconciler is implemented by executors whose granted width can be
+// retargeted mid-request by an external scheduler (today: *Lease).
+// Reconcile applies any pending width change at a safe point and returns
+// the resulting width.
+type Reconciler interface {
+	Reconcile() int
+}
+
+// Reconcile applies a pending budget change on executors that support it
+// and returns the executor's current width either way. Kernels call it at
+// phase boundaries (between ALS sweeps, between the modes of a sweep) so
+// an admission policy's mid-request Resize takes effect at the next safe
+// point; on a plain Pool it is just Workers().
+func Reconcile(p Executor) int {
+	p = OrDefault(p)
+	if r, ok := p.(Reconciler); ok {
+		return r.Reconcile()
+	}
+	return p.Workers()
+}
+
 // Clamp bounds t to [1, n] when n > 0; a non-positive t selects
 // DefaultThreads (the Effective rule). It never returns more workers than
 // items so that every worker owns a non-empty contiguous range.

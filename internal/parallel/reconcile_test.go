@@ -1,0 +1,132 @@
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestPoolResizeGrowPath pins the grow side of Resize: a pool whose
+// unleased capacity is exhausted grows on demand, and a starved lease tops
+// up from the grown team at its next reconcile.
+func TestPoolResizeGrowPath(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+
+	a := p.Lease(4) // reserves workers 1..3
+	b := p.Lease(4) // best-effort: nothing left but the caller slot
+	if a.Width() != 4 || b.Width() != 1 {
+		t.Fatalf("initial widths a=%d b=%d, want 4 and 1", a.Width(), b.Width())
+	}
+
+	p.Resize(8)
+	if w := p.Workers(); w != 8 {
+		t.Fatalf("Workers after Resize(8) = %d, want 8", w)
+	}
+	// b's standing target (4) is satisfiable now; Reconcile applies it.
+	if w := b.Reconcile(); w != 4 {
+		t.Fatalf("b.Reconcile after pool grow = %d, want 4", w)
+	}
+	// Both leases dispatch concurrently on disjoint grown workers.
+	var total atomic.Int64
+	var wg sync.WaitGroup
+	for _, l := range []*Lease{a, b} {
+		wg.Add(1)
+		go func(l *Lease) {
+			defer wg.Done()
+			l.For(0, 1000, func(_, lo, hi int) { total.Add(int64(hi - lo)) })
+		}(l)
+	}
+	wg.Wait()
+	if total.Load() != 2000 {
+		t.Fatalf("dispatched %d items, want 2000", total.Load())
+	}
+	a.Close()
+	b.Close()
+
+	// Shrink back below the grown width, then grow again: the team must
+	// follow (no stale retired channels).
+	p.Resize(2)
+	if w := p.Workers(); w != 2 {
+		t.Fatalf("Workers after Resize(2) = %d, want 2", w)
+	}
+	p.Resize(6)
+	if w := p.Workers(); w != 6 {
+		t.Fatalf("Workers after re-grow Resize(6) = %d, want 6", w)
+	}
+	c := p.Lease(6)
+	if c.Width() != 6 {
+		t.Fatalf("lease width on the re-grown team = %d, want 6", c.Width())
+	}
+	c.Close()
+}
+
+// TestLeaseReconcileChurn drives a long-lived lease through repeated
+// regions with phase-boundary Reconcile calls while peer leases are
+// admitted and closed and the admission target is resized up and down —
+// the serving scheduler's rebalance pattern (shrink while sweeping, grow
+// after a peer drains). Run under -race this also pins that Reconcile,
+// Resize, peer reservation and dispatch never touch shared state
+// unsynchronized.
+func TestLeaseReconcileChurn(t *testing.T) {
+	const width = 8
+	p := NewPool(width)
+	defer p.Close()
+	main := p.Lease(width)
+
+	stop := make(chan struct{})
+	var churn sync.WaitGroup
+	// Peer churn: admit a lease, run one region, close it.
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			peer := p.Lease(1 + i%4)
+			var n atomic.Int64
+			peer.For(0, 64, func(_, lo, hi int) { n.Add(int64(hi - lo)) })
+			if n.Load() != 64 {
+				t.Error("peer region lost work")
+			}
+			peer.Close()
+		}
+	}()
+	// Scheduler churn: retarget the main lease mid-flight.
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			main.Resize(1 + i%width)
+		}
+	}()
+
+	// The request: regions separated by phase-boundary reconciles.
+	for iter := 0; iter < 400; iter++ {
+		var n atomic.Int64
+		main.For(0, 512, func(_, lo, hi int) { n.Add(int64(hi - lo)) })
+		if n.Load() != 512 {
+			t.Fatalf("iter %d: region executed %d of 512 items (shrink lost work)", iter, n.Load())
+		}
+		if w := main.Reconcile(); w < 1 || w > width {
+			t.Fatalf("iter %d: reconciled width %d out of [1, %d]", iter, w, width)
+		}
+	}
+	close(stop)
+	churn.Wait()
+
+	// Grow after the peers drained: the full width is reservable again.
+	main.Resize(width)
+	if w := main.Reconcile(); w != width {
+		t.Fatalf("post-churn reconcile = %d, want the full width %d", w, width)
+	}
+	main.Close()
+}

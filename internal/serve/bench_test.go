@@ -2,8 +2,10 @@ package serve
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/mat"
@@ -43,6 +45,59 @@ func BenchmarkServeThroughput(b *testing.B) {
 				}(w)
 			}
 			wg.Wait()
+		})
+	}
+}
+
+// BenchmarkMixedAdmission is the tail-latency fingerprint of the
+// admission policy on a heterogeneous workload, recorded in the CI bench
+// artifact (BENCH_<sha>.json) so the perf trajectory captures small-
+// request latency under a large-request convoy, not just kernel time.
+// Each op is one round: one large MTTKRP fired asynchronously, then eight
+// small requests latency-measured while it runs. The small-p50/p99 custom
+// metrics are the comparison axis between the cost-aware and even-split
+// sub-benchmarks.
+func BenchmarkMixedAdmission(b *testing.B) {
+	xl, ul := problem(42, 16, 48, 40, 36)
+	xs, us := problem(43, 4, 12, 10, 8)
+	for _, policy := range []struct {
+		name string
+		even bool
+	}{{"cost-aware", false}, {"even-split", true}} {
+		b.Run(policy.name, func(b *testing.B) {
+			s := New(Config{EvenSplit: policy.even})
+			defer s.Close()
+			// Warm both shape-keyed workspace sets and the rate estimate.
+			if err := s.SubmitMTTKRP(MTTKRPRequest{X: xl, Factors: ul, Mode: 1}).Err(); err != nil {
+				b.Fatal(err)
+			}
+			if err := s.SubmitMTTKRP(MTTKRPRequest{X: xs, Factors: us, Mode: 1}).Err(); err != nil {
+				b.Fatal(err)
+			}
+			dstL := mat.NewDense(xl.Dim(1), 16)
+			dstS := mat.NewDense(xs.Dim(1), 4)
+			lats := make([]time.Duration, 0, 8*b.N)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				large := s.SubmitMTTKRP(MTTKRPRequest{X: xl, Factors: ul, Mode: 1, Dst: dstL})
+				for j := 0; j < 8; j++ {
+					t0 := time.Now()
+					if err := s.SubmitMTTKRP(MTTKRPRequest{X: xs, Factors: us, Mode: 1, Dst: dstS}).Err(); err != nil {
+						b.Fatal(err)
+					}
+					lats = append(lats, time.Since(t0))
+				}
+				if err := large.Err(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+			q := func(p float64) float64 {
+				return float64(lats[int(p*float64(len(lats)-1))].Microseconds()) / 1e3
+			}
+			b.ReportMetric(q(0.50), "small-p50-ms")
+			b.ReportMetric(q(0.99), "small-p99-ms")
 		})
 	}
 }

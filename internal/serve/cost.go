@@ -1,0 +1,77 @@
+package serve
+
+// CostModel estimates the admission cost of a request from its problem
+// shape — the scalar the scheduler uses to weight worker budgets by cost
+// share and to age the admission queue. The model follows the paper's
+// performance structure: MTTKRP work is Θ(|X|·C) flops per mode over a
+// working set of the tensor plus the factor matrices, so
+//
+//	flops ≈ 2 · Π dims · rank        (per mode)
+//	bytes ≈ 8 · (Π dims + Σ I_k · rank + I_n · rank)
+//
+// and the scalar cost is FlopWeight·flops + ByteWeight·bytes. Small dense
+// problems are bandwidth-bound, which is why bytes carry an independent
+// weight instead of folding into a pure flop count.
+//
+// The zero value is the default model (FlopWeight 1, ByteWeight 4).
+type CostModel struct {
+	// FlopWeight and ByteWeight convert the flop and byte estimates into
+	// one scalar; zero selects the defaults (1 and 4).
+	FlopWeight, ByteWeight float64
+}
+
+func (m CostModel) weights() (fw, bw float64) {
+	fw, bw = m.FlopWeight, m.ByteWeight
+	if fw == 0 {
+		fw = 1
+	}
+	if bw == 0 {
+		bw = 4
+	}
+	return fw, bw
+}
+
+// MTTKRP estimates the cost of one MTTKRP over a dims-shaped tensor with
+// rank factor columns.
+func (m CostModel) MTTKRP(dims []int, rank int) float64 {
+	fw, bw := m.weights()
+	entries, rows := 1.0, 0.0
+	for _, d := range dims {
+		entries *= float64(d)
+		rows += float64(d)
+	}
+	r := float64(rank)
+	// The destination matrix counts like one more factor (I_n·rank ≤
+	// rows·rank), folded into the 2× on the factor term.
+	return fw*2*entries*r + bw*8*(entries+2*rows*r)
+}
+
+// CP estimates a CP-ALS run: sweeps sweeps of one MTTKRP per mode.
+// sweeps <= 0 selects the cpd default sweep budget (50).
+func (m CostModel) CP(dims []int, rank, sweeps int) float64 {
+	if sweeps <= 0 {
+		sweeps = 50 // cpd.Config.withDefaults MaxIters
+	}
+	return float64(sweeps) * float64(len(dims)) * m.MTTKRP(dims, rank)
+}
+
+// costOf resolves a request's admission cost: an explicit positive hint
+// wins, otherwise the model estimate; anything non-positive (the test
+// hooks) costs one unit so equal-cost requests split the pool evenly.
+func costOf(hint, estimate float64) float64 {
+	if hint > 0 {
+		return hint
+	}
+	if estimate > 0 {
+		return estimate
+	}
+	return 1
+}
+
+// weightOf resolves a request's aging weight (0 selects 1).
+func weightOf(w float64) float64 {
+	if w > 0 {
+		return w
+	}
+	return 1
+}

@@ -3,6 +3,7 @@ package serve
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/cpd"
@@ -25,6 +26,30 @@ type Config struct {
 	// DisableBatching turns off same-shape MTTKRP coalescing; every
 	// request becomes its own batch.
 	DisableBatching bool
+
+	// Cost selects the request cost model for cost-aware admission; the
+	// zero value is the default model (see CostModel).
+	Cost CostModel
+	// MaxShare caps one request's share of the pool width under
+	// cost-aware admission (0 < MaxShare ≤ 1; 0 selects 1, i.e. no cap
+	// below the full width). The cap applies unconditionally — a lone
+	// request on an idle server is capped too — so a MaxShare below 1
+	// deliberately reserves warm headroom for the next arrival at the
+	// price of single-tenant throughput.
+	MaxShare float64
+	// AgeBias is the virtual head start every queued request gets in the
+	// aging score score = weight · (age + AgeBias) / cost. Smaller values
+	// favor shortest-job-first more aggressively (small requests overtake
+	// a convoy of large ones immediately); larger values approach FIFO. A
+	// request costing k× more than the smallest waits at most ~k·AgeBias
+	// behind a continuous stream of small arrivals before its age wins.
+	// 0 selects 1ms.
+	AgeBias time.Duration
+	// EvenSplit reverts admission to the historical policy — FIFO queue
+	// order and worker budgets of width ÷ active regardless of request
+	// cost. It exists as the measured baseline for the cost-aware policy
+	// (mttkrp-bench -serve -mix tabulates both).
+	EvenSplit bool
 }
 
 // Stats is a snapshot of scheduler counters.
@@ -36,24 +61,69 @@ type Stats struct {
 	// joined an existing same-shape batch instead of opening their own.
 	Batches, Coalesced int
 	// Active and Queued describe the instant of the snapshot; PeakActive
-	// is the high-water mark of concurrently executing batches.
-	Active, Queued, PeakActive int
+	// and PeakQueued are the high-water marks of concurrently executing
+	// batches and of the admission queue depth.
+	Active, Queued, PeakActive, PeakQueued int
+	// Reordered counts admissions where the aging policy let a request
+	// overtake an older queued one (non-FIFO admissions); it stays 0
+	// under EvenSplit.
+	Reordered int
+	// OldestQueuedMs is the age of the oldest request still waiting for
+	// admission at the snapshot (0 when the queue is empty).
+	OldestQueuedMs float64
+	// MaxQueueWaitMs is the longest admission wait any batch has
+	// experienced so far — the tail-latency fingerprint of the policy.
+	MaxQueueWaitMs float64
+	// Requests details the currently active and queued batches: granted
+	// worker budget (0 while queued), model cost, and queue age.
+	Requests []RequestStat
+}
+
+// RequestStat describes one active or queued batch in a Stats snapshot.
+type RequestStat struct {
+	// Kind is "mttkrp", "cp" or "func"; Key is the batching shape key
+	// ("" for uncoalesced kinds); Items is the number of coalesced
+	// requests riding the batch.
+	Kind  string
+	Key   string
+	Items int
+	// Cost is the per-request admission cost (model estimate or hint).
+	Cost float64
+	// Budget is the granted worker budget; 0 means still queued.
+	Budget int
+	// QueuedMs is the time the batch has spent (or spent, if active)
+	// waiting for admission.
+	QueuedMs float64
 }
 
 // Server is the serving runtime: an admission-controlled scheduler plus a
 // same-shape batcher over one exclusively-owned worker pool. Create with
 // New, submit with SubmitMTTKRP/SubmitCP, and Close when done.
+//
+// Admission is cost-aware: each request's worker budget is the pool width
+// weighted by its share of the active requests' total cost (floored at
+// MinWorkers, capped at MaxShare of the width), and the admission queue is
+// ordered by an aging score rather than FIFO, so small requests are not
+// convoyed behind large ones and large ones cannot starve. Budgets are
+// retargeted on every admit and finish, and running requests apply the
+// change at their next kernel phase boundary (between ALS sweeps, between
+// MTTKRP mode computations) via parallel.Lease.Reconcile.
 type Server struct {
 	pool       *parallel.Pool
 	width      int // pool team width the admission policy divides
 	minWorkers int
 	maxActive  int
 	batching   bool
+	evenSplit  bool
+	cost       CostModel
+	shareCap   int           // precomputed MaxShare · width, clamped to [minWorkers, width]
+	ageBias    time.Duration // aging head start (resolved, > 0)
 
 	mu       sync.Mutex
 	open     map[string]*batch // same-shape batches still accepting joiners
-	queue    []*batch          // FIFO admission queue
-	active   map[*batch]*parallel.Lease
+	queue    []*batch          // admission queue (aging-scored; FIFO under EvenSplit)
+	active   map[*batch]*grant
+	rate     float64 // EMA of served cost per second per request (ProjectedWait)
 	stats    Stats
 	draining bool
 	closed   bool
@@ -66,8 +136,24 @@ type Server struct {
 // (and through its shape key, a workspace set); CP requests and unbatched
 // servers get singleton batches.
 type batch struct {
-	key   string // shape key; "" never coalesces
-	items []*item
+	key      string // shape key; "" never coalesces
+	kind     string // "mttkrp", "cp" or "func"
+	items    []*item
+	cost     float64   // per-item admission cost (max over joined items)
+	weight   float64   // aging priority weight (max over joined items)
+	enqueued time.Time // when the batch entered the admission queue
+}
+
+// totalCost is the batch's full service estimate: every coalesced item
+// runs back-to-back on the lease.
+func (b *batch) totalCost() float64 { return b.cost * float64(len(b.items)) }
+
+// grant is one active batch's execution state: its lease and the budget
+// the policy most recently assigned it.
+type grant struct {
+	lease   *parallel.Lease
+	budget  int
+	started time.Time
 }
 
 // item is one submitted request plus its completion ticket.
@@ -95,14 +181,33 @@ func New(cfg Config) *Server {
 	if maxActive < 1 {
 		maxActive = 1
 	}
+	share := cfg.MaxShare
+	if share <= 0 || share > 1 {
+		share = 1
+	}
+	shareCap := int(share*float64(width) + 0.5)
+	if shareCap < minW {
+		shareCap = minW
+	}
+	if shareCap > width {
+		shareCap = width
+	}
+	ageBias := cfg.AgeBias
+	if ageBias <= 0 {
+		ageBias = time.Millisecond
+	}
 	return &Server{
 		pool:       parallel.NewPool(width),
 		width:      width,
 		minWorkers: minW,
 		maxActive:  maxActive,
 		batching:   !cfg.DisableBatching,
+		evenSplit:  cfg.EvenSplit,
+		cost:       cfg.Cost,
+		shareCap:   shareCap,
+		ageBias:    ageBias,
 		open:       make(map[string]*batch),
-		active:     make(map[*batch]*parallel.Lease),
+		active:     make(map[*batch]*grant),
 		drained:    make(chan struct{}),
 	}
 }
@@ -110,14 +215,42 @@ func New(cfg Config) *Server {
 // Workers returns the server pool's team width.
 func (s *Server) Workers() int { return s.width }
 
-// Stats returns a snapshot of the scheduler counters.
+// Model returns the server's request cost model, so front ends (the HTTP
+// transport) can price a request from its header before admitting it.
+func (s *Server) Model() CostModel { return s.cost }
+
+// Stats returns a snapshot of the scheduler counters, including the
+// per-request grant table (active budgets and queue ages).
 func (s *Server) Stats() Stats {
+	now := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := s.stats
 	st.Active = len(s.active)
 	st.Queued = len(s.queue)
+	st.Requests = make([]RequestStat, 0, len(s.active)+len(s.queue))
+	for b, g := range s.active {
+		st.Requests = append(st.Requests, RequestStat{
+			Kind: b.kind, Key: b.key, Items: len(b.items), Cost: b.cost,
+			Budget:   g.budget,
+			QueuedMs: msBetween(b.enqueued, g.started),
+		})
+	}
+	for _, b := range s.queue {
+		age := msBetween(b.enqueued, now)
+		st.Requests = append(st.Requests, RequestStat{
+			Kind: b.kind, Key: b.key, Items: len(b.items), Cost: b.cost,
+			QueuedMs: age,
+		})
+		if age > st.OldestQueuedMs {
+			st.OldestQueuedMs = age
+		}
+	}
 	return st
+}
+
+func msBetween(from, to time.Time) float64 {
+	return float64(to.Sub(from).Microseconds()) / 1e3
 }
 
 // SubmitMTTKRP admits an MTTKRP request and returns its ticket
@@ -129,7 +262,8 @@ func (s *Server) SubmitMTTKRP(req MTTKRPRequest) *Ticket {
 		return failedTicket(err)
 	}
 	it := &item{mt: &req, tk: newTicket()}
-	s.enqueue(shapeKey(req), it)
+	cost := costOf(req.CostHint, s.cost.MTTKRP(req.X.Dims(), req.Factors[0].C))
+	s.enqueue(shapeKey(req), "mttkrp", it, cost, weightOf(req.Weight))
 	return it.tk
 }
 
@@ -141,21 +275,23 @@ func (s *Server) SubmitCP(req CPRequest) *Ticket {
 		return failedTicket(fmt.Errorf("serve: nil tensor"))
 	}
 	it := &item{cp: &req, tk: newTicket()}
-	s.enqueue("", it)
+	cost := costOf(req.CostHint, s.cost.CP(req.X.Dims(), req.Config.Rank, req.Config.MaxIters))
+	s.enqueue("", "cp", it, cost, weightOf(req.Weight))
 	return it.tk
 }
 
-// submitFunc admits an arbitrary function under a shape key. Tests use it
-// to occupy the scheduler deterministically.
-func (s *Server) submitFunc(key string, fn func(parallel.Executor)) *Ticket {
+// submitFunc admits an arbitrary function under a shape key, cost and
+// aging weight (0 selects defaults). Tests use it to occupy the scheduler
+// deterministically.
+func (s *Server) submitFunc(key string, cost, weight float64, fn func(parallel.Executor)) *Ticket {
 	it := &item{fn: fn, tk: newTicket()}
-	s.enqueue(key, it)
+	s.enqueue(key, "func", it, costOf(0, cost), weightOf(weight))
 	return it.tk
 }
 
 // enqueue joins an open same-shape batch or opens a new one, then kicks
 // the scheduler.
-func (s *Server) enqueue(key string, it *item) {
+func (s *Server) enqueue(key, kind string, it *item, cost, weight float64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining || s.closed {
@@ -166,22 +302,36 @@ func (s *Server) enqueue(key string, it *item) {
 	if key != "" && s.batching {
 		if b, ok := s.open[key]; ok {
 			b.items = append(b.items, it)
+			// The batch ages as fast as its most urgent joiner and is
+			// priced at its most expensive one: same-shape items share a
+			// model cost by construction, but explicit CostHints may
+			// differ, and under-pricing the batch would let a cheap first
+			// item smuggle an expensive joiner past the aging queue.
+			if weight > b.weight {
+				b.weight = weight
+			}
+			if cost > b.cost {
+				b.cost = cost
+			}
 			s.stats.Coalesced++
 			return
 		}
 	}
-	b := &batch{key: key, items: []*item{it}}
+	b := &batch{key: key, kind: kind, items: []*item{it}, cost: cost, weight: weight, enqueued: time.Now()}
 	if key != "" && s.batching {
 		s.open[key] = b
 	}
 	s.queue = append(s.queue, b)
+	if len(s.queue) > s.stats.PeakQueued {
+		s.stats.PeakQueued = len(s.queue)
+	}
 	s.scheduleLocked()
 }
 
-// budgetLocked is the admission policy: the pool's width divided evenly
-// across `active` concurrent requests, floored at MinWorkers and capped at
-// the full width.
-func (s *Server) budgetLocked(active int) int {
+// evenBudgetLocked is the historical admission policy: the pool's width
+// divided evenly across `active` concurrent requests, floored at
+// MinWorkers and capped at the full width.
+func (s *Server) evenBudgetLocked(active int) int {
 	if active < 1 {
 		active = 1
 	}
@@ -195,55 +345,157 @@ func (s *Server) budgetLocked(active int) int {
 	return b
 }
 
+// ageScore is the aging priority of a queued batch: cost-weighted deficit
+// that grows with wait time. Small requests score high immediately
+// (shortest-job-first), and a large request's age eventually dominates
+// fresh small arrivals, bounding its starvation at ~costRatio · AgeBias.
+func (s *Server) ageScore(b *batch, now time.Time) float64 {
+	age := now.Sub(b.enqueued) + s.ageBias
+	return b.weight * age.Seconds() / b.cost
+}
+
+// pickLocked removes and returns the next batch to admit: the oldest under
+// EvenSplit (FIFO), the highest aging score otherwise. Callers hold s.mu
+// and guarantee the queue is non-empty.
+func (s *Server) pickLocked(now time.Time) *batch {
+	best := 0
+	if !s.evenSplit {
+		bestScore := s.ageScore(s.queue[0], now)
+		for i := 1; i < len(s.queue); i++ {
+			if score := s.ageScore(s.queue[i], now); score > bestScore {
+				best, bestScore = i, score
+			}
+		}
+	}
+	b := s.queue[best]
+	if best > 0 {
+		s.stats.Reordered++ // an older batch stays queued behind this one
+	}
+	copy(s.queue[best:], s.queue[best+1:])
+	s.queue[len(s.queue)-1] = nil
+	s.queue = s.queue[:len(s.queue)-1]
+	return b
+}
+
 // scheduleLocked admits queued batches while capacity remains: each gets a
-// lease sized by the admission policy, and every already-active lease is
-// rebalanced to the new budget. Callers hold s.mu.
+// lease, and every active lease is retargeted to the policy's budget (the
+// change lands at each lease's next phase boundary). Callers hold s.mu.
 func (s *Server) scheduleLocked() {
 	for len(s.queue) > 0 && len(s.active) < s.maxActive {
-		b := s.queue[0]
-		s.queue[0] = nil
-		s.queue = s.queue[1:]
+		now := time.Now()
+		b := s.pickLocked(now)
 		if b.key != "" {
 			// The batch stops accepting joiners the moment it is granted
 			// a lease; later same-shape arrivals open the next batch.
 			delete(s.open, b.key)
 		}
-		lease := s.pool.Lease(s.budgetLocked(len(s.active) + 1))
-		s.active[b] = lease
+		if wait := msBetween(b.enqueued, now); wait > s.stats.MaxQueueWaitMs {
+			s.stats.MaxQueueWaitMs = wait
+		}
+		// Open the lease at the floor; rebalanceLocked immediately widens
+		// it to the policy budget (the lease is still idle, so the resize
+		// applies before the first dispatch).
+		g := &grant{lease: s.pool.Lease(s.minWorkers), started: now}
+		s.active[b] = g
 		s.stats.Batches++
 		if len(s.active) > s.stats.PeakActive {
 			s.stats.PeakActive = len(s.active)
 		}
 		s.rebalanceLocked()
 		s.wg.Add(1)
-		go s.run(b, lease)
+		go s.run(b, g)
 	}
 }
 
-// rebalanceLocked retargets every active lease to the current per-request
-// budget. Width changes apply at each lease's next region boundary; workers
-// freed by a shrinking lease are picked up by growing ones on their next
-// dispatch. Callers hold s.mu.
+// rebalanceLocked retargets every active lease to the admission policy's
+// budget: an even width ÷ active split under EvenSplit, otherwise each
+// request's cost share of the width, floored at MinWorkers and capped at
+// MaxShare. Width changes apply at each lease's next phase/region
+// boundary; workers freed by a shrinking lease are picked up by growing
+// ones on their next reconcile. Callers hold s.mu.
 func (s *Server) rebalanceLocked() {
-	budget := s.budgetLocked(len(s.active))
-	for _, lease := range s.active {
-		lease.Resize(budget)
+	if s.evenSplit {
+		budget := s.evenBudgetLocked(len(s.active))
+		for _, g := range s.active {
+			g.budget = budget
+			g.lease.Resize(budget)
+		}
+		return
 	}
+	total := 0.0
+	for b := range s.active {
+		total += b.cost
+	}
+	for b, g := range s.active {
+		w := int(float64(s.width)*b.cost/total + 0.5)
+		if w < s.minWorkers {
+			w = s.minWorkers
+		}
+		if w > s.shareCap {
+			w = s.shareCap
+		}
+		g.budget = w
+		g.lease.Resize(w)
+	}
+}
+
+// ProjectedWait estimates how long a request of the given cost would wait
+// for admission if submitted now: the backlog it cannot overtake (queued
+// batches of no greater cost, which outscore it under aging, plus an
+// assumed-half-done remainder of the active batches when every slot is
+// busy) divided by the scheduler's recent service rate. The estimate is
+// deliberately coarse — its consumer is the transport's 429-versus-queue
+// decision, which only needs the right order of magnitude. With no
+// completed work yet (rate unknown) it reports 0: admit optimistically.
+func (s *Server) ProjectedWait(cost float64) time.Duration {
+	if cost <= 0 {
+		cost = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.rate <= 0 {
+		return 0
+	}
+	ahead := 0.0
+	for _, b := range s.queue {
+		if s.evenSplit || b.cost <= cost {
+			ahead += b.totalCost()
+		}
+	}
+	if len(s.active) >= s.maxActive {
+		for b := range s.active {
+			ahead += 0.5 * b.totalCost()
+		}
+	}
+	if ahead == 0 {
+		return 0
+	}
+	slots := len(s.active)
+	if slots < 1 {
+		slots = 1
+	}
+	if slots > s.maxActive {
+		slots = s.maxActive
+	}
+	return time.Duration(ahead / (s.rate * float64(slots)) * float64(time.Second))
 }
 
 // run executes one batch on its lease, then returns the lease and admits
 // more work.
-func (s *Server) run(b *batch, lease *parallel.Lease) {
+func (s *Server) run(b *batch, g *grant) {
 	defer s.wg.Done()
+	lease := g.lease
 	if b.key != "" {
 		lease.SetWorkspaceKey("serve:" + b.key)
 	}
 	for _, it := range b.items {
 		it.execute(lease)
 	}
+	dur := time.Since(g.started)
 	lease.Close()
 	s.mu.Lock()
 	delete(s.active, b)
+	s.observeRateLocked(b.totalCost(), dur)
 	for _, it := range b.items {
 		s.stats.Completed++
 		if it.tk.err != nil {
@@ -254,6 +506,21 @@ func (s *Server) run(b *batch, lease *parallel.Lease) {
 	s.scheduleLocked()
 	s.maybeDrainedLocked()
 	s.mu.Unlock()
+}
+
+// observeRateLocked folds one completed batch into the served-cost-rate
+// EMA that ProjectedWait divides by. Callers hold s.mu.
+func (s *Server) observeRateLocked(cost float64, dur time.Duration) {
+	sec := dur.Seconds()
+	if sec <= 0 || cost <= 0 {
+		return
+	}
+	r := cost / sec
+	if s.rate == 0 {
+		s.rate = r
+		return
+	}
+	s.rate = 0.25*r + 0.75*s.rate
 }
 
 // maybeDrainedLocked signals Drain waiters once admission has stopped and
@@ -284,7 +551,9 @@ func (s *Server) Drain() {
 }
 
 // execute runs one request on the granted executor, recovering kernel
-// panics (shape mismatches and the like) into the ticket.
+// panics (shape mismatches and the like) into the ticket. Kernel phase
+// boundaries reconcile the executor, so a budget change issued by the
+// scheduler mid-request lands at the next safe point.
 func (it *item) execute(ex parallel.Executor) {
 	tk := it.tk
 	defer func() {
@@ -300,12 +569,18 @@ func (it *item) execute(ex parallel.Executor) {
 		if dst.Data == nil {
 			dst = mat.NewDense(req.X.Dim(req.Mode), req.Factors[0].C)
 		}
-		// Threads = 0 resolves to the lease's granted budget.
-		tk.m = core.ComputeInto(dst, req.Method, req.X, req.Factors, req.Mode, core.Options{Pool: ex})
+		// Threads = 0 resolves to the lease's granted budget; PhaseNotify
+		// applies pending budget changes at each computation boundary.
+		tk.m = core.ComputeInto(dst, req.Method, req.X, req.Factors, req.Mode, core.Options{
+			Pool:        ex,
+			PhaseNotify: func() { parallel.Reconcile(ex) },
+		})
 	case it.cp != nil:
 		cfg := it.cp.Config
 		cfg.Pool = ex
 		cfg.Threads = 0
+		// cpd.ALS reconciles the lease between sweeps (and between modes)
+		// itself; no extra wiring needed here.
 		tk.cp, tk.err = cpd.ALS(it.cp.X, cfg)
 	default:
 		it.fn(ex)

@@ -1,12 +1,15 @@
 // Package serve is the concurrent serving runtime on top of the
 // pool/workspace layers: a scheduler that admits MTTKRP and CP-ALS
-// requests, grants each an execution lease sized by an admission policy
-// (worker slots ÷ active requests, floored at a minimum and rebalanced as
-// requests arrive and finish), and coalesces same-shape MTTKRP requests
-// into batches that run back-to-back on one lease and one shape-keyed
-// workspace set — amortizing admission, dispatch warmup and scratch-buffer
-// sizing across requests the way a model server amortizes weights across
-// queries.
+// requests, grants each an execution lease sized by a cost-aware admission
+// policy (worker budgets weighted by each request's cost share under a
+// CostModel, floored at a minimum, capped at a maximum share, and
+// rebalanced as requests arrive and finish — running requests apply the
+// change at kernel phase boundaries via parallel.Lease.Reconcile), orders
+// the admission queue by an aging score so small requests are not convoyed
+// behind large ones, and coalesces same-shape MTTKRP requests into batches
+// that run back-to-back on one lease and one shape-keyed workspace set —
+// amortizing admission, dispatch warmup and scratch-buffer sizing across
+// requests the way a model server amortizes weights across queries.
 //
 // One Server owns one parallel.Pool exclusively. Requests are submitted
 // asynchronously and complete through Tickets.
@@ -46,6 +49,15 @@ type MTTKRPRequest struct {
 	// row-major, caller-retained for steady-state reuse); a zero Dst lets
 	// the server allocate one.
 	Dst mat.View
+	// CostHint, when positive, overrides the scheduler's cost-model
+	// estimate for this request — the transport maps the X-Cost-Hint
+	// header here. The cost weights the request's worker budget and its
+	// queue aging.
+	CostHint float64
+	// Weight scales the request's aging priority (> 1 ages faster and is
+	// admitted sooner under load, < 1 slower); 0 selects 1. The transport
+	// maps the X-Priority header here.
+	Weight float64
 }
 
 // Method aliases the core algorithm selector so daemon code can depend on
@@ -58,8 +70,13 @@ type CPRequest struct {
 	X *tensor.Dense
 	// Config configures the run. Pool and Threads are overridden by the
 	// scheduler: the decomposition executes on the lease granted at
-	// admission, with the worker budget the admission policy assigns.
+	// admission, with the worker budget the admission policy assigns
+	// (re-applied at every sweep boundary, so a long decomposition
+	// shrinks and re-grows with the load around it).
 	Config cpd.Config
+	// CostHint and Weight mirror MTTKRPRequest's admission knobs.
+	CostHint float64
+	Weight   float64
 }
 
 // Ticket is the async handle for a submitted request. Exactly one of the

@@ -94,7 +94,7 @@ func TestServeBatchingCoalesces(t *testing.T) {
 
 	release := make(chan struct{})
 	started := make(chan struct{})
-	blocker := s.submitFunc("", func(parallel.Executor) {
+	blocker := s.submitFunc("", 0, 0, func(parallel.Executor) {
 		close(started)
 		<-release
 	})
@@ -140,7 +140,7 @@ func TestServeDisableBatching(t *testing.T) {
 
 	release := make(chan struct{})
 	started := make(chan struct{})
-	blocker := s.submitFunc("", func(parallel.Executor) {
+	blocker := s.submitFunc("", 0, 0, func(parallel.Executor) {
 		close(started)
 		<-release
 	})
@@ -205,7 +205,7 @@ func TestServeAdmissionControl(t *testing.T) {
 	for _, tc := range []struct{ active, want int }{
 		{1, 8}, {2, 4}, {3, 2}, {4, 2}, {100, 2},
 	} {
-		if got := s.budgetLocked(tc.active); got != tc.want {
+		if got := s.evenBudgetLocked(tc.active); got != tc.want {
 			t.Fatalf("budget(%d) = %d, want %d", tc.active, got, tc.want)
 		}
 	}
@@ -218,7 +218,7 @@ func TestServeAdmissionControl(t *testing.T) {
 	peak := 0
 	var blockers []*Ticket
 	for i := 0; i < 9; i++ {
-		blockers = append(blockers, s.submitFunc("", func(parallel.Executor) {
+		blockers = append(blockers, s.submitFunc("", 0, 0, func(parallel.Executor) {
 			mu.Lock()
 			running++
 			if running > peak {
@@ -255,7 +255,7 @@ func TestServeLeaseBudgets(t *testing.T) {
 	defer s.Close()
 
 	solo := make(chan int, 1)
-	s.submitFunc("", func(ex parallel.Executor) { solo <- ex.Workers() }).Err()
+	s.submitFunc("", 0, 0, func(ex parallel.Executor) { solo <- ex.Workers() }).Err()
 	if w := <-solo; w != 8 {
 		t.Fatalf("solo request granted width %d, want 8", w)
 	}
@@ -270,7 +270,7 @@ func TestServeLeaseBudgets(t *testing.T) {
 	release := make(chan struct{})
 	widths := make(chan int, 4)
 	for i := 0; i < 4; i++ {
-		s.submitFunc("", func(ex parallel.Executor) {
+		s.submitFunc("", 0, 0, func(ex parallel.Executor) {
 			entered.Done()
 			<-measure
 			widths <- ex.Effective(0) // the kernel-entry resolution path
@@ -324,7 +324,7 @@ func TestServeDrain(t *testing.T) {
 	s := New(Config{Workers: 2, MaxActive: 1})
 	release := make(chan struct{})
 	started := make(chan struct{})
-	blocker := s.submitFunc("", func(parallel.Executor) {
+	blocker := s.submitFunc("", 0, 0, func(parallel.Executor) {
 		close(started)
 		<-release
 	})
@@ -380,7 +380,7 @@ func TestServeCloseFailsQueued(t *testing.T) {
 	s := New(Config{Workers: 2, MaxActive: 1})
 	release := make(chan struct{})
 	started := make(chan struct{})
-	blocker := s.submitFunc("", func(parallel.Executor) {
+	blocker := s.submitFunc("", 0, 0, func(parallel.Executor) {
 		close(started)
 		<-release
 	})
@@ -414,7 +414,7 @@ func TestServeCloseFailsQueued(t *testing.T) {
 func TestServeWorkerPanicRecovered(t *testing.T) {
 	s := New(Config{Workers: 4, MinWorkers: 4}) // every request gets the full width
 	defer s.Close()
-	tk := s.submitFunc("", func(ex parallel.Executor) {
+	tk := s.submitFunc("", 0, 0, func(ex parallel.Executor) {
 		ex.Run(4, func(w int) {
 			if w == 3 {
 				panic("bad request data")

@@ -23,6 +23,16 @@ type Client struct {
 	BaseURL string
 	// APIKey, when non-empty, is sent as X-API-Key — the quota principal.
 	APIKey string
+	// Priority, when non-empty, is sent as X-Priority ("low", "normal" or
+	// "high") on every compute request: the client's QoS class for the
+	// server's aging admission queue.
+	Priority string
+	// CostHint, when positive, is sent as X-Cost-Hint on every compute
+	// request, refining the server's cost-model estimate (for clients
+	// that know their workload better than the shape-based model does).
+	// The server clamps it to within a bounded factor of its own
+	// estimate, so it cannot serve as a queue-jumping lever.
+	CostHint float64
 	// HTTPClient overrides the transport; nil uses http.DefaultClient
 	// (which negotiates HTTP/2 automatically against TLS listeners).
 	HTTPClient *http.Client
@@ -158,6 +168,12 @@ func (c *Client) post(path string, h *Header, x *tensor.Dense, factors []mat.Vie
 	}
 	req.ContentLength = h.WireSize()
 	req.Header.Set("Content-Type", "application/x-tensor-wire")
+	if c.Priority != "" {
+		req.Header.Set("X-Priority", c.Priority)
+	}
+	if c.CostHint > 0 {
+		req.Header.Set("X-Cost-Hint", strconv.FormatFloat(c.CostHint, 'g', -1, 64))
+	}
 	return c.do(req)
 }
 

@@ -5,11 +5,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -33,6 +35,12 @@ type Config struct {
 	CPIters int
 	// DrainTimeout bounds the graceful drain on shutdown; 0 selects 60 s.
 	DrainTimeout time.Duration
+	// MaxQueueDelay sheds load instead of queueing: when positive, a
+	// request whose projected admission wait (scheduler backlog ÷ recent
+	// service rate, priced by the request's cost) exceeds it is refused
+	// with 429 and a Retry-After hint rather than queued. 0 queues
+	// everything — the pre-shedding behavior.
+	MaxQueueDelay time.Duration
 }
 
 // Stats is a snapshot of transport counters plus the scheduler's.
@@ -46,6 +54,9 @@ type Stats struct {
 	DrainRejected int64 `json:"drain_rejected"`
 	BadRequests   int64 `json:"bad_requests"`
 	Failed        int64 `json:"failed"`
+	// ShedRejected counts requests refused because their projected
+	// admission wait exceeded Config.MaxQueueDelay (429 with Retry-After).
+	ShedRejected int64 `json:"shed_rejected"`
 	// BytesIn / BytesOut count payload (not HTTP framing) bytes.
 	BytesIn  int64 `json:"bytes_in"`
 	BytesOut int64 `json:"bytes_out"`
@@ -73,7 +84,7 @@ type Server struct {
 	draining atomic.Bool
 
 	requests, quotaRejected, drainRejected atomic.Int64
-	badRequests, failed                    atomic.Int64
+	badRequests, failed, shedRejected      atomic.Int64
 	bytesIn, bytesOut                      atomic.Int64
 	decodeNs, computeNs                    atomic.Int64
 }
@@ -113,6 +124,7 @@ func (s *Server) Stats() Stats {
 		DrainRejected: s.drainRejected.Load(),
 		BadRequests:   s.badRequests.Load(),
 		Failed:        s.failed.Load(),
+		ShedRejected:  s.shedRejected.Load(),
 		BytesIn:       s.bytesIn.Load(),
 		BytesOut:      s.bytesOut.Load(),
 		DecodeNs:      s.decodeNs.Load(),
@@ -252,6 +264,86 @@ const (
 	headerComputeNs = "X-Compute-Ns"
 )
 
+// Admission request headers: clients may price and prioritize their own
+// requests. X-Cost-Hint refines the scheduler's cost-model estimate (a
+// positive float in model cost units, clamped to within costHintBound×
+// of the server's own estimate so it cannot be used as a queue-jumping
+// lever); X-Priority scales queue aging ("low", "normal" or "high").
+const (
+	headerCostHint = "X-Cost-Hint"
+	headerPriority = "X-Priority"
+)
+
+// priorityWeight maps the X-Priority header onto an aging weight.
+func priorityWeight(p string) (float64, error) {
+	switch strings.ToLower(p) {
+	case "", "normal":
+		return 1, nil
+	case "low":
+		return 0.5, nil
+	case "high":
+		return 2, nil
+	}
+	return 0, fmt.Errorf("transport: unknown %s %q (want low, normal or high)", headerPriority, p)
+}
+
+// costHintBound caps how far the client-supplied X-Cost-Hint may deviate
+// from the server's own model estimate, in either direction. A hint is a
+// refinement channel for clients that know their workload, not a priority
+// lever: an unbounded tiny hint would dominate the aging queue (score ~
+// age/cost) and dodge MaxQueueDelay shedding for free.
+const costHintBound = 16
+
+// admission prices a request from its decoded wire header plus the
+// optional client hints, and decides queue-versus-shed: when the
+// projected admission wait exceeds MaxQueueDelay the request is refused
+// up front (429 + Retry-After), before its payload is decoded.
+func (s *Server) admission(w http.ResponseWriter, r *http.Request, h *Header) (cost, weight float64, ok bool) {
+	weight, err := priorityWeight(r.Header.Get(headerPriority))
+	if err != nil {
+		s.badRequests.Add(1)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return 0, 0, false
+	}
+	if hint := r.Header.Get(headerCostHint); hint != "" {
+		cost, err = strconv.ParseFloat(hint, 64)
+		if err != nil || cost <= 0 || math.IsInf(cost, 0) || math.IsNaN(cost) {
+			s.badRequests.Add(1)
+			http.Error(w, fmt.Sprintf("transport: bad %s %q (want a positive float)", headerCostHint, hint), http.StatusBadRequest)
+			return 0, 0, false
+		}
+	}
+	model := s.sched.Model()
+	var estimate float64
+	if h.Op == OpCP {
+		iters := h.Iters
+		if iters <= 0 {
+			iters = s.cfg.CPIters
+		}
+		estimate = model.CP(h.Dims, h.Rank, iters)
+	} else {
+		estimate = model.MTTKRP(h.Dims, h.Rank)
+	}
+	switch {
+	case cost == 0:
+		cost = estimate
+	case cost < estimate/costHintBound:
+		cost = estimate / costHintBound
+	case cost > estimate*costHintBound:
+		cost = estimate * costHintBound
+	}
+	if s.cfg.MaxQueueDelay > 0 {
+		if wait := s.sched.ProjectedWait(cost); wait > s.cfg.MaxQueueDelay {
+			s.shedRejected.Add(1)
+			secs := int64(wait/time.Second) + 1
+			w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+			http.Error(w, fmt.Sprintf("projected queue delay %v exceeds %v", wait.Round(time.Millisecond), s.cfg.MaxQueueDelay), http.StatusTooManyRequests)
+			return 0, 0, false
+		}
+	}
+	return cost, weight, true
+}
+
 // handleCompute is the shared data path of /v1/mttkrp and /v1/cp.
 func (s *Server) handleCompute(w http.ResponseWriter, r *http.Request, wantOp Op) {
 	s.requests.Add(1)
@@ -290,6 +382,10 @@ func (s *Server) handleCompute(w http.ResponseWriter, r *http.Request, wantOp Op
 		http.Error(w, err.Error(), status)
 		return
 	}
+	cost, weight, ok := s.admission(w, r, h)
+	if !ok {
+		return
+	}
 	payload := h.PayloadBytes()
 	if !s.quotas.acquireBytes(key, payload, now) {
 		s.quotaRejected.Add(1)
@@ -325,6 +421,7 @@ func (s *Server) handleCompute(w http.ResponseWriter, r *http.Request, wantOp Op
 		c0 := time.Now()
 		m, err := s.sched.SubmitMTTKRP(serve.MTTKRPRequest{
 			X: x, Factors: factors, Mode: h.Mode, Method: h.Method, Dst: dst,
+			CostHint: cost, Weight: weight,
 		}).MTTKRP()
 		compute := time.Since(c0)
 		s.computeNs.Add(compute.Nanoseconds())
@@ -349,7 +446,7 @@ func (s *Server) handleCompute(w http.ResponseWriter, r *http.Request, wantOp Op
 		c0 := time.Now()
 		res, err := s.sched.SubmitCP(serve.CPRequest{X: x, Config: cpd.Config{
 			Rank: h.Rank, MaxIters: iters, Method: h.Method, Seed: h.Seed,
-		}}).CP()
+		}, CostHint: cost, Weight: weight}).CP()
 		compute := time.Since(c0)
 		s.computeNs.Add(compute.Nanoseconds())
 		if err != nil {

@@ -8,6 +8,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -174,6 +175,192 @@ func TestHTTPRejections(t *testing.T) {
 	if !errors.As(err, &he) || he.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("byte-quota request: %v, want 429", err)
 	}
+}
+
+// TestHTTPAdmissionHeaders covers the client-side admission knobs: a
+// well-formed X-Priority/X-Cost-Hint pair is accepted and served, and
+// malformed values are rejected up front with 400 (counted as bad
+// requests, before any payload decode).
+func TestHTTPAdmissionHeaders(t *testing.T) {
+	s, c := startServer(t, Config{Serve: serve.Config{Workers: 2}})
+	x, u := problem(11, 4, 8, 7, 6)
+
+	c.Priority = "high"
+	c.CostHint = 1e6
+	got, _, err := c.MTTKRP(mat.View{}, x, u, 1, core.MethodAuto)
+	if err != nil {
+		t.Fatalf("prioritized request: %v", err)
+	}
+	want := core.Compute(core.MethodAuto, x, u, 1, core.Options{})
+	if !mat.ApproxEqual(got, want, 1e-13) {
+		t.Fatal("prioritized request diverges from local kernel")
+	}
+
+	bad := NewClient(c.BaseURL)
+	bad.HTTPClient = c.HTTPClient
+	bad.Priority = "urgent" // not a QoS class
+	var he *HTTPError
+	if _, _, err := bad.MTTKRP(mat.View{}, x, u, 1, core.MethodAuto); !errors.As(err, &he) || he.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bogus X-Priority: %v, want 400", err)
+	}
+	bad.Priority = ""
+	bad.CostHint = -3 // client-side guard skips non-positive hints…
+	if _, _, err := bad.MTTKRP(mat.View{}, x, u, 1, core.MethodAuto); err != nil {
+		t.Fatalf("non-positive CostHint must be dropped client-side, got %v", err)
+	}
+	// …but a hand-rolled bad header on an otherwise valid wire request is
+	// a server-side 400 from the admission check itself (the wire header
+	// decodes fine, so nothing else can produce the rejection).
+	var wire bytes.Buffer
+	if err := WriteRequest(&wire, &Header{Op: OpMTTKRP, Mode: 1, Rank: 4, Dims: x.Dims()}, x, u); err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, c.BaseURL+"/v1/mttkrp", bytes.NewReader(wire.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Cost-Hint", "not-a-float")
+	resp, err := c.HTTPClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad X-Cost-Hint: %d, want 400", resp.StatusCode)
+	}
+	if st := s.Stats(); st.BadRequests < 2 {
+		t.Fatalf("stats %+v: header rejections not counted as bad requests", st)
+	}
+}
+
+// TestHTTPCostHintClamped pins that X-Cost-Hint is a refinement, not a
+// priority lever: a microscopic hint is clamped to within a bounded
+// factor of the server's own model estimate before it reaches the aging
+// queue, observable as the queued request's cost in the scheduler's
+// grant table.
+func TestHTTPCostHintClamped(t *testing.T) {
+	s, c := startServer(t, Config{Serve: serve.Config{Workers: 2, MaxActive: 1}})
+	x, u := problem(17, 4, 10, 9, 8)
+
+	// Saturate the only admission slot so the hinted request queues long
+	// enough to observe.
+	blocker := s.sched.SubmitCP(serve.CPRequest{
+		X:      x,
+		Config: cpd.Config{Rank: 3, MaxIters: 1500, Tol: -1},
+	})
+	for {
+		if st := s.sched.Stats(); st.Active >= 1 {
+			break
+		}
+		select {
+		case <-blocker.Done():
+			t.Fatal("blocker finished before saturation was observed")
+		default:
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+
+	liar := NewClient(c.BaseURL)
+	liar.HTTPClient = c.HTTPClient
+	liar.CostHint = 1e-300
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := liar.MTTKRP(mat.View{}, x, u, 1, core.MethodAuto)
+		done <- err
+	}()
+	estimate := s.sched.Model().MTTKRP(x.Dims(), 4)
+	for {
+		st := s.sched.Stats()
+		var queuedCost float64
+		for _, r := range st.Requests {
+			if r.Kind == "mttkrp" && r.Budget == 0 {
+				queuedCost = r.Cost
+			}
+		}
+		if queuedCost != 0 {
+			if queuedCost < estimate/16 {
+				t.Fatalf("queued cost %g for hint 1e-300, want ≥ estimate/16 = %g (clamp defeated)", queuedCost, estimate/16)
+			}
+			break
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("hinted request finished (%v) before it was observed queued", err)
+		default:
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	if err := blocker.Err(); err != nil {
+		t.Fatalf("blocker: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("hinted request: %v", err)
+	}
+}
+
+// TestHTTPShedMaxQueueDelay pins the 429-versus-queue decision: once the
+// scheduler is saturated and its projected admission delay exceeds
+// MaxQueueDelay, new requests are shed up front with Retry-After instead
+// of queued — and served again after the backlog drains.
+func TestHTTPShedMaxQueueDelay(t *testing.T) {
+	s, c := startServer(t, Config{
+		Serve:         serve.Config{Workers: 2, MaxActive: 1},
+		MaxQueueDelay: time.Nanosecond, // any measurable backlog sheds
+	})
+	x, u := problem(13, 4, 10, 9, 8)
+
+	// Seed the scheduler's service-rate estimate (ProjectedWait reports 0
+	// until one batch has completed; with no estimate nothing sheds).
+	if _, _, err := c.MTTKRP(mat.View{}, x, u, 1, core.MethodAuto); err != nil {
+		t.Fatalf("warmup: %v", err)
+	}
+
+	// Saturate the only admission slot with a long CP run whose declared
+	// cost dwarfs the service rate, so any request's projected delay is
+	// enormous while it runs.
+	blocker := s.sched.SubmitCP(serve.CPRequest{
+		X:        x,
+		Config:   cpd.Config{Rank: 3, MaxIters: 1500, Tol: -1},
+		CostHint: 1e12,
+	})
+	for {
+		if st := s.sched.Stats(); st.Active >= 1 {
+			break
+		}
+		select {
+		case <-blocker.Done():
+			t.Fatal("blocker finished before saturation was observed")
+		default:
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+
+	var he *HTTPError
+	_, _, err := c.MTTKRP(mat.View{}, x, u, 1, core.MethodAuto)
+	if !errors.As(err, &he) || he.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated submit: %v, want 429 shed", err)
+	}
+	if he.Message == "" || resp429RetryAfterMissing(he) {
+		t.Fatalf("shed response carries no guidance: %+v", he)
+	}
+	if st := s.Stats(); st.ShedRejected < 1 {
+		t.Fatalf("stats %+v: shed not counted", st)
+	}
+	if err := blocker.Err(); err != nil {
+		t.Fatalf("blocker: %v", err)
+	}
+
+	// Backlog drained: requests are admitted again.
+	if _, _, err := c.MTTKRP(mat.View{}, x, u, 1, core.MethodAuto); err != nil {
+		t.Fatalf("post-drain request: %v", err)
+	}
+}
+
+// resp429RetryAfterMissing is a placeholder check: HTTPError does not
+// retain headers, so the Retry-After presence is pinned via the message
+// text the handler writes alongside it.
+func resp429RetryAfterMissing(he *HTTPError) bool {
+	return !strings.Contains(he.Message, "projected queue delay")
 }
 
 // TestHTTPGracefulDrain pins the drain contract end to end over a real

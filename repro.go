@@ -113,18 +113,36 @@ func NewPool(workers int) *Pool { return parallel.NewPool(workers) }
 
 // Server is the concurrent serving runtime: an admission-controlled
 // scheduler that shares one worker pool across concurrent MTTKRP and CP
-// requests (worker budget = pool width ÷ active requests, with a floor,
-// rebalanced as requests arrive and finish) and coalesces same-shape
+// requests — worker budgets weighted by each request's cost share under a
+// CostModel (floored at MinWorkers, capped at MaxShare), an aging
+// admission queue so small requests are not convoyed behind large ones,
+// and rebalancing as requests arrive and finish with changes applied at
+// running requests' kernel phase boundaries — and coalesces same-shape
 // MTTKRP requests into batches on shared warmed workspaces. Submit with
 // SubmitMTTKRP/SubmitCP; results arrive through Tickets. Close when done.
 type Server = serve.Server
 
 // ServerConfig sizes a Server (worker count, per-request floor, admission
-// cap, batching).
+// cap, batching) and selects its admission policy: cost-aware budgets with
+// an aging queue by default (CostModel, MaxShare, AgeBias knobs), or the
+// even-split FIFO baseline via EvenSplit.
 type ServerConfig = serve.Config
 
-// ServerStats is a snapshot of a Server's scheduler counters.
+// CostModel estimates a request's admission cost from its problem shape
+// (flops ≈ Π dims × rank per mode, bytes ≈ tensor + factor footprint); the
+// scheduler weights worker budgets by cost share and ages the admission
+// queue with it.
+type CostModel = serve.CostModel
+
+// ServerStats is a snapshot of a Server's scheduler counters, including
+// queue depth, oldest-queued age, aging reorders, and the per-request
+// grant table (RequestStat entries with granted budgets and queue ages).
 type ServerStats = serve.Stats
+
+// RequestStat describes one active or queued request in a ServerStats
+// snapshot: kind, cost, granted worker budget (0 while queued) and queue
+// age.
+type RequestStat = serve.RequestStat
 
 // Ticket is the async completion handle of a submitted request.
 type Ticket = serve.Ticket
