@@ -10,6 +10,7 @@
 //	mttkrp-bench -serve                    # serving load generator, conc 1/4/16
 //	mttkrp-bench -serve -conc 4 -requests 256 -sdims 60x50x40 -rank 16
 //	mttkrp-bench -serve -mix small:8,large:1   # heterogeneous mix: cost-aware vs even-split, per-class p99
+//	mttkrp-bench -serve -fuse=off              # A/B half: batch-level KRP fusion disabled
 //	mttkrp-bench -serve-http               # HTTP load against an in-process listener
 //	mttkrp-bench -serve-http -addr http://host:8080 -requests 256
 //	mttkrp-bench -serve-http -mix small:8,large:1  # mixed payloads over the wire
@@ -63,6 +64,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	sdims := fs.String("sdims", "48x40x36", "serving: tensor dims, e.g. 60x50x40")
 	rank := fs.Int("rank", 16, "serving: CP rank / factor columns")
 	mixSpec := fs.String("mix", "", "serving: heterogeneous workload mix, e.g. small:8,large:1 (classes small, medium, large scaled from -sdims/-rank; -serve compares cost-aware vs even-split admission per class with p99)")
+	fuse := fs.String("fuse", "on", "serving: batch-level KRP fusion on the served side, on or off (run both for the A/B; tables carry a fuse-hit column)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return err
@@ -76,6 +78,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *mixSpec != "" && !*serveMode && !*serveHTTP {
 		return cli.UsageError{Msg: "-mix applies to the serving load generators; pass -serve or -serve-http"}
 	}
+	if *fuse != "on" && *fuse != "off" {
+		return cli.UsageError{Msg: fmt.Sprintf("-fuse: unknown value %q (want on or off)", *fuse)}
+	}
+	fuseSet := false
+	fs.Visit(func(f *flag.Flag) { fuseSet = fuseSet || f.Name == "fuse" })
+	if fuseSet && !*serveMode && !*serveHTTP {
+		return cli.UsageError{Msg: "-fuse applies to the serving load generators; pass -serve or -serve-http"}
+	}
+	noFusion := *fuse == "off"
 	if *serveMode || *serveHTTP {
 		dims, err := cli.ParseDims(*sdims)
 		if err != nil {
@@ -96,6 +107,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 				Conc:     levels,
 				Requests: *requests,
 				Mix:      *mixSpec,
+				NoFusion: noFusion,
 				Out:      func(format string, a ...any) { fmt.Fprintf(stdout, format, a...) },
 			})
 			if err != nil {
@@ -120,6 +132,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			Conc:     levels,
 			Requests: *requests,
 			Mix:      *mixSpec,
+			NoFusion: noFusion,
 			Out:      func(format string, a ...any) { fmt.Fprintf(stdout, format, a...) },
 		})
 		if err != nil {

@@ -21,9 +21,11 @@ func TestSummarize(t *testing.T) {
 	if st.Mean != 2*time.Second {
 		t.Errorf("mean = %v", st.Mean)
 	}
+	// Even N: nearest-rank p50 is the lower middle element (the shared
+	// Quantile definition), not the historical two-element average.
 	even := Summarize([]time.Duration{time.Second, 3 * time.Second})
-	if even.Median != 2*time.Second {
-		t.Errorf("even median = %v", even.Median)
+	if even.Median != time.Second {
+		t.Errorf("even median = %v, want the nearest-rank 1s", even.Median)
 	}
 	if Summarize(nil).N != 0 {
 		t.Error("empty summarize")

@@ -39,6 +39,10 @@ type HTTPLoadConfig struct {
 	// p50/p95/p99 rows. The served policy is whatever the listener runs;
 	// the policy A/B comparison lives in the in-process -serve mode.
 	Mix string
+	// NoFusion disables batch-level KRP fusion on the in-process
+	// listener (the -fuse=off half of the A/B); ignored when URL targets
+	// an external listener, whose config the load generator cannot set.
+	NoFusion bool
 	// Out receives OBS commentary lines (may be nil).
 	Out func(format string, args ...any)
 }
@@ -72,8 +76,9 @@ func HTTPLoad(cfg HTTPLoadConfig) (*Table, error) {
 	}
 
 	url := cfg.URL
+	var srv *transport.Server // non-nil only for the in-process listener
 	if url == "" {
-		srv := transport.NewServer(transport.Config{Serve: serve.Config{Workers: cfg.Workers}})
+		srv = transport.NewServer(transport.Config{Serve: serve.Config{Workers: cfg.Workers, DisableFusion: cfg.NoFusion}})
 		l, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			return nil, fmt.Errorf("bench: in-process listener: %w", err)
@@ -81,12 +86,12 @@ func HTTPLoad(cfg HTTPLoadConfig) (*Table, error) {
 		go srv.Serve(l)
 		defer srv.Close()
 		url = "http://" + l.Addr().String()
-		cfg.Out("OBS http: started in-process listener %s (%d workers)\n", url, srv.Workers())
+		cfg.Out("OBS http: started in-process listener %s (%d workers, fusion %s)\n", url, srv.Workers(), onOff(!cfg.NoFusion))
 	}
 
 	client := transport.NewClient(url)
 	if cfg.Mix != "" {
-		return httpMixLoad(cfg, client, url)
+		return httpMixLoad(cfg, client, url, srv)
 	}
 
 	rng := rand.New(rand.NewSource(99))
@@ -100,7 +105,7 @@ func HTTPLoad(cfg HTTPLoadConfig) (*Table, error) {
 	tb := NewTable(
 		fmt.Sprintf("HTTP transport throughput — MTTKRP %v rank %d mode %d, %d requests per level, %s/request on the wire",
 			cfg.Dims, cfg.Rank, cfg.Mode, cfg.Requests, cli.FormatBytes(payload)),
-		"conc", "req/s", "MB/s in", "p50 ms", "p95 ms", "p99 ms", "decode ms/req", "compute ms/req", "decode share", "rejected")
+		"conc", "req/s", "MB/s in", "p50 ms", "p95 ms", "p99 ms", "decode ms/req", "compute ms/req", "decode share", "rejected", "fuse hit")
 
 	// Warm the connection pool and the server's shape-keyed workspaces.
 	if _, _, err := client.MTTKRP(mat.View{}, x, u, cfg.Mode, 0); err != nil {
@@ -108,7 +113,9 @@ func HTTPLoad(cfg HTTPLoadConfig) (*Table, error) {
 	}
 
 	for _, conc := range cfg.Conc {
+		pre := serveStatsOf(srv)
 		r := runHTTPLevel(cfg, client, x, u, conc)
+		hit := httpFuseHit(srv, pre)
 		completed := cfg.Requests - int(r.rejected)
 		decodeMs, computeMs := 0.0, 0.0
 		if completed > 0 {
@@ -126,18 +133,43 @@ func HTTPLoad(cfg HTTPLoadConfig) (*Table, error) {
 			fmt.Sprintf("%.3f", ms(r.res.p50)), fmt.Sprintf("%.3f", ms(r.res.p95)), fmt.Sprintf("%.3f", ms(r.res.p99)),
 			fmt.Sprintf("%.3f", decodeMs), fmt.Sprintf("%.3f", computeMs),
 			fmt.Sprintf("%.1f%%", share),
-			fmt.Sprintf("%d", r.rejected))
-		cfg.Out("OBS http conc=%d: %.1f req/s (%.1f MB/s in), decode %.3f ms vs compute %.3f ms per request (%.1f%% decode), %d rejected\n",
-			conc, r.res.throughput, mbps, decodeMs, computeMs, share, r.rejected)
+			fmt.Sprintf("%d", r.rejected),
+			hit)
+		cfg.Out("OBS http conc=%d: %.1f req/s (%.1f MB/s in), decode %.3f ms vs compute %.3f ms per request (%.1f%% decode), %d rejected, fuse hit %s\n",
+			conc, r.res.throughput, mbps, decodeMs, computeMs, share, r.rejected, hit)
 	}
 	return tb, nil
+}
+
+// serveStatsOf snapshots the in-process listener's scheduler counters
+// (zero Stats for an external listener).
+func serveStatsOf(srv *transport.Server) serve.Stats {
+	if srv == nil {
+		return serve.Stats{}
+	}
+	return srv.Stats().Serve
+}
+
+// httpFuseHit formats the fusion hit rate of one concurrency level as the
+// delta against the pre-level snapshot; external listeners (no stats
+// access over the load-generator path) report n/a.
+func httpFuseHit(srv *transport.Server, pre serve.Stats) string {
+	if srv == nil {
+		return "n/a"
+	}
+	post := srv.Stats().Serve
+	batches := post.Batches - pre.Batches
+	if batches <= 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.0f%%", 100*float64(post.Fused-pre.Fused)/float64(batches))
 }
 
 // httpMixLoad ships the heterogeneous class mix over the wire: every
 // request carries its class's full tensor payload, and latency percentiles
 // are reported per class — the network-path view of the convoy/tail
 // measurement (including p99, which one-shape runs hide).
-func httpMixLoad(cfg HTTPLoadConfig, client *transport.Client, url string) (*Table, error) {
+func httpMixLoad(cfg HTTPLoadConfig, client *transport.Client, url string, srv *transport.Server) (*Table, error) {
 	mix, err := ParseMix(cfg.Mix)
 	if err != nil {
 		return nil, fmt.Errorf("bench: -mix: %w", err)
@@ -172,6 +204,7 @@ func httpMixLoad(cfg HTTPLoadConfig, client *transport.Client, url string) (*Tab
 		"conc", "class", "req/s", "p50 ms", "p95 ms", "p99 ms", "rejected")
 
 	for _, conc := range cfg.Conc {
+		pre := serveStatsOf(srv)
 		seq := classSequence(mix, cfg.Requests, int64(conc))
 		latencies := make([]time.Duration, len(seq))
 		accepted := make([]bool, len(seq))
@@ -228,6 +261,7 @@ func httpMixLoad(cfg HTTPLoadConfig, client *transport.Client, url string) (*Tab
 			cfg.Out("OBS http mix conc=%d class=%s: %.1f req/s, p99 %.3f ms\n",
 				conc, classes[c].name, r.throughput, ms(r.p99))
 		}
+		cfg.Out("OBS http mix conc=%d: fuse hit %s\n", conc, httpFuseHit(srv, pre))
 	}
 	return tb, nil
 }

@@ -1,0 +1,29 @@
+package bench
+
+import (
+	"math"
+	"time"
+)
+
+// Quantile returns the nearest-rank p-quantile of an ascending-sorted
+// duration slice: the smallest element whose rank r satisfies r/N ≥ p,
+// i.e. sorted[ceil(p·N)−1], with p clamped to (0, 1]. It is the single
+// percentile definition every latency table in this package uses —
+// Summarize's median and the -serve / -serve-http p50/p95/p99 columns —
+// so the two load generators can never disagree by an off-by-one again
+// (the historical trio: an averaged even-N median here, floor-indexed
+// q() closures in the serving tables). An empty slice reports 0.
+func Quantile(sorted []time.Duration, p float64) time.Duration {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(p * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return sorted[rank-1]
+}

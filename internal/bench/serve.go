@@ -38,6 +38,9 @@ type ServeLoadConfig struct {
 	// the cost-aware and the even-split admission policies, tabulating
 	// per-class p50/p95/p99 — the convoy/tail-latency measurement.
 	Mix string
+	// NoFusion disables batch-level KRP fusion on the served side (the
+	// -fuse=off half of the A/B); the fuse-hit column then reads 0.
+	NoFusion bool
 	// Out receives OBS commentary lines (may be nil).
 	Out func(format string, args ...any)
 }
@@ -90,14 +93,14 @@ func ServeLoad(cfg ServeLoadConfig) (*Table, error) {
 	}
 
 	tb := NewTable(
-		fmt.Sprintf("Serving throughput — MTTKRP %v rank %d mode %d, %d requests per level",
-			cfg.Dims, cfg.Rank, cfg.Mode, cfg.Requests),
+		fmt.Sprintf("Serving throughput — MTTKRP %v rank %d mode %d, %d requests per level, fusion %s",
+			cfg.Dims, cfg.Rank, cfg.Mode, cfg.Requests, onOff(!cfg.NoFusion)),
 		"conc", "served req/s", "naive req/s", "speedup",
 		"served p50 ms", "served p95 ms", "served p99 ms",
-		"naive p50 ms", "naive p95 ms", "naive p99 ms")
+		"naive p50 ms", "naive p95 ms", "naive p99 ms", "fuse hit")
 
 	for _, conc := range cfg.Conc {
-		served := runServed(cfg, x, u, conc)
+		served, st := runServed(cfg, x, u, conc)
 		naive := runNaive(cfg, x, u, conc)
 		speedup := served.throughput / naive.throughput
 		tb.Add(fmt.Sprintf("%d", conc),
@@ -105,11 +108,28 @@ func ServeLoad(cfg ServeLoadConfig) (*Table, error) {
 			fmt.Sprintf("%.1f", naive.throughput),
 			fmt.Sprintf("%.2fx", speedup),
 			fmt.Sprintf("%.3f", ms(served.p50)), fmt.Sprintf("%.3f", ms(served.p95)), fmt.Sprintf("%.3f", ms(served.p99)),
-			fmt.Sprintf("%.3f", ms(naive.p50)), fmt.Sprintf("%.3f", ms(naive.p95)), fmt.Sprintf("%.3f", ms(naive.p99)))
-		cfg.Out("OBS serve conc=%d: %.1f req/s served vs %.1f req/s naive pools (%.2fx)\n",
-			conc, served.throughput, naive.throughput, speedup)
+			fmt.Sprintf("%.3f", ms(naive.p50)), fmt.Sprintf("%.3f", ms(naive.p95)), fmt.Sprintf("%.3f", ms(naive.p99)),
+			fuseHit(st))
+		cfg.Out("OBS serve conc=%d: %.1f req/s served vs %.1f req/s naive pools (%.2fx); %d/%d batches fused, ~%.0f KRP kflops saved\n",
+			conc, served.throughput, naive.throughput, speedup, st.Fused, st.Batches, st.FusedSavedFlops/1e3)
 	}
 	return tb, nil
+}
+
+func onOff(on bool) string {
+	if on {
+		return "on"
+	}
+	return "off"
+}
+
+// fuseHit formats the per-batch fusion hit rate of one measured run: the
+// fraction of executed batches that ran on a shared KRP plan.
+func fuseHit(st serve.Stats) string {
+	if st.Batches == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.0f%%", 100*float64(st.Fused)/float64(st.Batches))
 }
 
 func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1e3 }
@@ -239,8 +259,8 @@ func serveMixLoad(cfg ServeLoadConfig) (*Table, error) {
 	}
 
 	tb := NewTable(
-		fmt.Sprintf("Mixed serving load — base %v rank %d, mix %s, %d requests per level",
-			cfg.Dims, cfg.Rank, cfg.Mix, cfg.Requests),
+		fmt.Sprintf("Mixed serving load — base %v rank %d, mix %s, %d requests per level, fusion %s",
+			cfg.Dims, cfg.Rank, cfg.Mix, cfg.Requests, onOff(!cfg.NoFusion)),
 		"conc", "policy", "class", "req/s", "p50 ms", "p95 ms", "p99 ms")
 
 	for _, conc := range cfg.Conc {
@@ -259,8 +279,8 @@ func serveMixLoad(cfg ServeLoadConfig) (*Table, error) {
 					fmt.Sprintf("%.1f", r.throughput),
 					fmt.Sprintf("%.3f", ms(r.p50)), fmt.Sprintf("%.3f", ms(r.p95)), fmt.Sprintf("%.3f", ms(r.p99)))
 			}
-			cfg.Out("OBS mix conc=%d policy=%s: peak queue %d, max queue wait %.3f ms, %d aged reorders\n",
-				conc, policy.name, st.PeakQueued, st.MaxQueueWaitMs, st.Reordered)
+			cfg.Out("OBS mix conc=%d policy=%s: peak queue %d, max queue wait %.3f ms, %d aged reorders, %d/%d batches fused\n",
+				conc, policy.name, st.PeakQueued, st.MaxQueueWaitMs, st.Reordered, st.Fused, st.Batches)
 		}
 	}
 	return tb, nil
@@ -271,7 +291,7 @@ func serveMixLoad(cfg ServeLoadConfig) (*Table, error) {
 // recording latency per class. It returns the scheduler's counter snapshot
 // taken after the load drains (queue-wait highs and aging reorders).
 func runMixPolicy(cfg ServeLoadConfig, classes []mixClass, seq []int, conc int, evenSplit bool) ([][]time.Duration, time.Duration, serve.Stats) {
-	srv := serve.New(serve.Config{Workers: cfg.Workers, EvenSplit: evenSplit})
+	srv := serve.New(serve.Config{Workers: cfg.Workers, EvenSplit: evenSplit, DisableFusion: cfg.NoFusion})
 	defer srv.Close()
 	// Warm every class's shape-keyed workspace set (and the scheduler's
 	// service-rate estimate) before timing.
@@ -312,6 +332,7 @@ func runMixPolicy(cfg ServeLoadConfig, classes []mixClass, seq []int, conc int, 
 	}
 	wg.Wait()
 	wall := time.Since(start)
+	srv.Drain() // settle in-flight counter folds so the snapshot is exact
 	st := srv.Stats()
 	perClass := make([][]time.Duration, len(classes))
 	for i, lat := range latencies {
@@ -353,20 +374,25 @@ func driveLoad(cfg ServeLoadConfig, x *tensor.Dense, conc int, request func(dst 
 	return summarize(latencies, time.Since(start))
 }
 
-// runServed measures the admission-controlled scheduler under load.
-func runServed(cfg ServeLoadConfig, x *tensor.Dense, u []mat.View, conc int) serveLoadResult {
-	s := serve.New(serve.Config{Workers: cfg.Workers})
+// runServed measures the admission-controlled scheduler under load,
+// returning its counter snapshot alongside (the fusion hit rate column).
+func runServed(cfg ServeLoadConfig, x *tensor.Dense, u []mat.View, conc int) (serveLoadResult, serve.Stats) {
+	s := serve.New(serve.Config{Workers: cfg.Workers, DisableFusion: cfg.NoFusion})
 	defer s.Close()
 	// Warm the shape-keyed workspace set once, as a steady-state server
 	// would be.
 	if err := s.SubmitMTTKRP(serve.MTTKRPRequest{X: x, Factors: u, Mode: cfg.Mode}).Err(); err != nil {
 		panic(err)
 	}
-	return driveLoad(cfg, x, conc, func(dst mat.View) {
+	r := driveLoad(cfg, x, conc, func(dst mat.View) {
 		if err := s.SubmitMTTKRP(serve.MTTKRPRequest{X: x, Factors: u, Mode: cfg.Mode, Dst: dst}).Err(); err != nil {
 			panic(err)
 		}
 	})
+	// Tickets resolve inside batch execution, before the executor folds
+	// its fusion counters into the stats; drain so the snapshot is exact.
+	s.Drain()
+	return r, s.Stats()
 }
 
 // runNaive measures the pre-serving pattern: every request creates its own
@@ -382,17 +408,10 @@ func runNaive(cfg ServeLoadConfig, x *tensor.Dense, u []mat.View, conc int) serv
 func summarize(lat []time.Duration, wall time.Duration) serveLoadResult {
 	sorted := append([]time.Duration(nil), lat...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	q := func(p float64) time.Duration {
-		if len(sorted) == 0 {
-			return 0
-		}
-		i := int(p * float64(len(sorted)-1))
-		return sorted[i]
-	}
 	return serveLoadResult{
 		throughput: float64(len(lat)) / wall.Seconds(),
-		p50:        q(0.50),
-		p95:        q(0.95),
-		p99:        q(0.99),
+		p50:        Quantile(sorted, 0.50),
+		p95:        Quantile(sorted, 0.95),
+		p99:        Quantile(sorted, 0.99),
 	}
 }

@@ -46,7 +46,10 @@ func MeasureTimed(trials int, f func() time.Duration) Stats {
 	return Summarize(ds)
 }
 
-// Summarize computes stats over raw durations.
+// Summarize computes stats over raw durations. The median is the
+// nearest-rank p50 (Quantile), the same definition the serving latency
+// tables use, so every percentile this package reports is computed one
+// way; for even N this is the lower middle element, not an average.
 func Summarize(ds []time.Duration) Stats {
 	if len(ds) == 0 {
 		return Stats{}
@@ -57,12 +60,8 @@ func Summarize(ds []time.Duration) Stats {
 	for _, d := range sorted {
 		sum += d
 	}
-	mid := sorted[len(sorted)/2]
-	if len(sorted)%2 == 0 {
-		mid = (sorted[len(sorted)/2-1] + sorted[len(sorted)/2]) / 2
-	}
 	return Stats{
-		Median: mid,
+		Median: Quantile(sorted, 0.50),
 		Mean:   sum / time.Duration(len(sorted)),
 		Min:    sorted[0],
 		Max:    sorted[len(sorted)-1],

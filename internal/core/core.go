@@ -14,6 +14,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/krp"
 	"repro/internal/mat"
 	"repro/internal/parallel"
 	"repro/internal/tensor"
@@ -100,6 +101,11 @@ type Options struct {
 	// instrumentation can use it to observe kernel progress. It runs on
 	// the computing goroutine and must not dispatch on opts.Pool.
 	PhaseNotify func()
+
+	// plan, when non-nil, is a prebuilt shared Khatri-Rao intermediate the
+	// kernels may consume instead of recomputing their partial KRPs (batch
+	// fusion; set via ComputeIntoWithPlan, which documents the contract).
+	plan *krp.Plan
 }
 
 // notifyPhase invokes the phase-boundary hook, if any.

@@ -4,6 +4,7 @@ import (
 	"repro/internal/blas"
 	"repro/internal/krp"
 	"repro/internal/mat"
+	"repro/internal/parallel"
 	"repro/internal/tensor"
 )
 
@@ -100,6 +101,27 @@ func newTwoStepFrame() any {
 	return f
 }
 
+// planOrCompute resolves the 2-step algorithm's two partial KRPs: each
+// side comes from the batch plan when its operand list matches (batch
+// fusion skips the whole PhaseLRKRP) and is computed into arena scratch
+// otherwise. Mixed hits are fine — a plan can make a side cheaper, never
+// wrong.
+func planOrCompute(opts Options, p parallel.Executor, ws *parallel.Workspace, t int, ar *parallel.Arena, klOps, krOps []mat.View, il, ir, c int) (kl, kr mat.View) {
+	if pl := opts.plan; pl != nil {
+		kl, _ = pl.Lookup(klOps)
+		kr, _ = pl.Lookup(krOps)
+	}
+	if kl.Data == nil {
+		kl = arenaMat(ar, "core.2s.kl", il, c)
+		krp.ParallelOn(p, ws, t, klOps, kl)
+	}
+	if kr.Data == nil {
+		kr = arenaMat(ar, "core.2s.kr", ir, c)
+		krp.ParallelOn(p, ws, t, krOps, kr)
+	}
+	return kl, kr
+}
+
 func (f *twoStepFrame) release() {
 	f.inter = mat.View{}
 	f.kv = mat.View{}
@@ -122,8 +144,6 @@ func twoStepRightFirst(dst mat.View, x *tensor.Dense, u []mat.View, n int, opts 
 	ar := ws.Arena(0)
 	f := ws.Frame("core.twostep", newTwoStepFrame).(*twoStepFrame)
 
-	kl := arenaMat(ar, "core.2s.kl", il, c)
-	kr := arenaMat(ar, "core.2s.kr", ir, c)
 	// R is the (I₀⋯I_n) × C intermediate, column-major so that column j is
 	// the j-th subtensor of the order-(n+2) tensor R in natural layout.
 	r := arenaColMajor(ar, "core.2s.inter", il*in, c)
@@ -132,8 +152,7 @@ func twoStepRightFirst(dst mat.View, x *tensor.Dense, u []mat.View, n int, opts 
 	sw := startWatch()
 	f.klOps = appendLeftOperands(f.klOps, u, n)
 	f.krOps = appendRightOperands(f.krOps, u, n)
-	krp.ParallelOn(p, ws, t, f.klOps, kl)
-	krp.ParallelOn(p, ws, t, f.krOps, kr)
+	kl, kr := planOrCompute(opts, p, ws, t, ar, f.klOps, f.krOps, il, ir, c)
 	bd.add(PhaseLRKRP, sw.elapsed())
 
 	// Step 1: partial MTTKRP — a single (logical) BLAS call on the
@@ -168,8 +187,6 @@ func twoStepLeftFirst(dst mat.View, x *tensor.Dense, u []mat.View, n int, opts O
 	ar := ws.Arena(0)
 	f := ws.Frame("core.twostep", newTwoStepFrame).(*twoStepFrame)
 
-	kl := arenaMat(ar, "core.2s.kl", il, c)
-	kr := arenaMat(ar, "core.2s.kr", ir, c)
 	// L is (I_n⋯I_{N-1}) × C, column-major: column j is subtensor j of the
 	// order-(N-n+1) tensor L in natural layout.
 	l := arenaColMajor(ar, "core.2s.inter", in*ir, c)
@@ -178,8 +195,7 @@ func twoStepLeftFirst(dst mat.View, x *tensor.Dense, u []mat.View, n int, opts O
 	sw := startWatch()
 	f.klOps = appendLeftOperands(f.klOps, u, n)
 	f.krOps = appendRightOperands(f.krOps, u, n)
-	krp.ParallelOn(p, ws, t, f.klOps, kl)
-	krp.ParallelOn(p, ws, t, f.krOps, kr)
+	kl, kr := planOrCompute(opts, p, ws, t, ar, f.klOps, f.krOps, il, ir, c)
 	bd.add(PhaseLRKRP, sw.elapsed())
 
 	// Step 1: X_(0:n-1) is column-major I^L_n × (I_n⋯I_{N-1}); its

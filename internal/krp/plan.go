@@ -1,0 +1,194 @@
+package krp
+
+import (
+	"math"
+
+	"repro/internal/mat"
+	"repro/internal/parallel"
+)
+
+// Plan is a shared Khatri-Rao intermediate for batch-level kernel fusion:
+// the left and right partial KRPs of one factor set, computed once with
+// ParallelOn and then consumed read-only by every MTTKRP in a coalesced
+// batch whose operand set matches. The serving scheduler fills one plan
+// per fused batch (under the batch's lease, before the member loop) and
+// the core kernels consume it through Lookup, falling back to computing
+// their own KRP on a mismatch — a plan can make a computation faster,
+// never wrong.
+//
+// Storage comes from the workspace's PlanArena, so a plan cached in a
+// shape-keyed workspace refills without allocating. A plan is not
+// concurrency-safe across Fill/Reset; within one fill, the returned views
+// are immutable and may be read by any number of kernel workers.
+type Plan struct {
+	left, right       mat.View // filled partial KRPs (zero views when that side is empty)
+	leftSrc, rightSrc []planSrc
+	filled            bool
+	fills, hits, miss int64
+	servedRows        int64 // KRP rows delivered to consumers across all hits
+}
+
+// planSrc records one source operand: the caller's original view (used
+// only for a pointer-identity fast path — never dereferenced after Fill,
+// because the caller may legally reuse the buffer once its own request
+// completes) and a plan-owned value snapshot that Lookup compares against
+// when the pointers differ (the network path, where every request decodes
+// an identical factor set into a different pooled buffer).
+type planSrc struct {
+	orig mat.View
+	snap mat.View
+}
+
+// Fill computes the partial KRPs of the left and right operand lists into
+// plan-owned storage leased from ws.PlanArena(), snapshotting the operand
+// values for Lookup. Either list may be empty (external modes have a
+// one-sided operand set). Fill implies Reset: a plan holds exactly one
+// factor set at a time.
+func (p *Plan) Fill(ex parallel.Executor, ws *parallel.Workspace, t int, left, right []mat.View) {
+	p.Reset()
+	c := 0
+	snapLen := 0
+	for _, ops := range [2][]mat.View{left, right} {
+		for _, m := range ops {
+			if m.CS != 1 {
+				panic("krp: plan operands must have unit column stride")
+			}
+			if c == 0 {
+				c = m.C
+			}
+			if m.C != c {
+				panic("krp: plan operands disagree on column count")
+			}
+			snapLen += m.R * m.C
+		}
+	}
+	if c == 0 {
+		panic("krp: plan with no operands")
+	}
+	lrows, rrows := 0, 0
+	if len(left) > 0 {
+		lrows = NumRows(left)
+	}
+	if len(right) > 0 {
+		rrows = NumRows(right)
+	}
+	ar := ws.PlanArena()
+	buf := ar.Float64("krp.plan.k", (lrows+rrows)*c)
+	snap := ar.Float64("krp.plan.snap", snapLen)
+	off := 0
+	p.leftSrc, off = appendSrc(p.leftSrc, left, snap, off)
+	p.rightSrc, _ = appendSrc(p.rightSrc, right, snap, off)
+	if lrows > 0 {
+		p.left = mat.FromRowMajor(buf[:lrows*c], lrows, c)
+		ParallelOn(ex, ws, t, left, p.left)
+	}
+	if rrows > 0 {
+		p.right = mat.FromRowMajor(buf[lrows*c:(lrows+rrows)*c], rrows, c)
+		ParallelOn(ex, ws, t, right, p.right)
+	}
+	p.filled = true
+	p.fills++
+}
+
+// appendSrc records the operand list into dst, copying each operand's
+// values into the shared snapshot slab starting at off.
+func appendSrc(dst []planSrc, ops []mat.View, snap []float64, off int) ([]planSrc, int) {
+	for _, m := range ops {
+		sv := mat.FromRowMajor(snap[off:off+m.R*m.C], m.R, m.C)
+		off += m.R * m.C
+		sv.CopyFrom(m)
+		dst = append(dst, planSrc{orig: m, snap: sv})
+	}
+	return dst, off
+}
+
+// Lookup returns the filled KRP whose source operand list matches ops, if
+// any. A match is per-operand: the same backing buffer and geometry as at
+// Fill time (the in-process path; sound because each request's factors
+// are contractually unchanged from submit to completion, a window that
+// covers the fill), or bitwise-equal values against the plan's snapshot
+// (the network path). Hits and misses are counted for the scheduler's
+// fusion stats.
+func (p *Plan) Lookup(ops []mat.View) (mat.View, bool) {
+	if p.filled {
+		if matchSrc(ops, p.leftSrc) {
+			p.hits++
+			p.servedRows += int64(p.left.R)
+			return p.left, true
+		}
+		if matchSrc(ops, p.rightSrc) {
+			p.hits++
+			p.servedRows += int64(p.right.R)
+			return p.right, true
+		}
+	}
+	p.miss++
+	return mat.View{}, false
+}
+
+func matchSrc(ops []mat.View, src []planSrc) bool {
+	if len(ops) != len(src) || len(ops) == 0 {
+		return false
+	}
+	for i, m := range ops {
+		s := &src[i]
+		if m.R != s.snap.R || m.C != s.snap.C || m.CS != 1 {
+			return false
+		}
+		if sameBacking(m, s.orig) {
+			continue
+		}
+		for r := 0; r < m.R; r++ {
+			a, b := m.ContiguousRow(r), s.snap.ContiguousRow(r)
+			for j := range a {
+				if math.Float64bits(a[j]) != math.Float64bits(b[j]) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// sameBacking reports whether two views describe the identical window: the
+// same first element address and the same geometry. It compares slice
+// headers only — it never reads elements, so it is safe against buffers
+// whose owner has since released them.
+func sameBacking(a, b mat.View) bool {
+	return len(a.Data) > 0 && len(b.Data) > 0 && &a.Data[0] == &b.Data[0] &&
+		a.R == b.R && a.C == b.C && a.RS == b.RS && a.CS == b.CS
+}
+
+// Reset drops the plan's sources and views so a cached plan does not
+// retain caller factor memory between batches. Counters and arena-backed
+// storage survive for reuse; the plan is empty (every Lookup misses) until
+// the next Fill.
+func (p *Plan) Reset() {
+	for i := range p.leftSrc {
+		p.leftSrc[i] = planSrc{}
+	}
+	for i := range p.rightSrc {
+		p.rightSrc[i] = planSrc{}
+	}
+	p.leftSrc, p.rightSrc = p.leftSrc[:0], p.rightSrc[:0]
+	p.left, p.right = mat.View{}, mat.View{}
+	p.filled = false
+}
+
+// FilledRows returns the total KRP rows the current fill materialized —
+// the size of the work a consumer skips on a plan hit.
+func (p *Plan) FilledRows() int { return p.left.R + p.right.R }
+
+// Fills, Hits and Misses are cumulative across the plan's lifetime (they
+// survive Reset): the number of Fill calls, of Lookups served from the
+// plan, and of Lookups that fell back.
+func (p *Plan) Fills() int64  { return p.fills }
+func (p *Plan) Hits() int64   { return p.hits }
+func (p *Plan) Misses() int64 { return p.miss }
+
+// ServedRows is the cumulative count of KRP rows delivered on hits — the
+// exact amount of formation work consumers skipped. A batch executor
+// prices its saving as the ServedRows delta minus one FilledRows (the
+// fill itself paid for one formation), so partially-matching batches are
+// priced by what the plan actually served, not by member count.
+func (p *Plan) ServedRows() int64 { return p.servedRows }

@@ -1,0 +1,140 @@
+package krp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/parallel"
+)
+
+func randMats(rng *rand.Rand, rows []int, c int) []mat.View {
+	ms := make([]mat.View, len(rows))
+	for i, r := range rows {
+		ms[i] = mat.RandomDense(r, c, rng)
+	}
+	return ms
+}
+
+// TestFusedPlanFillAndLookup pins the plan's core contract: Fill computes
+// the same rows Full does, Lookup serves exact matches by pointer identity
+// and by value, and mismatches (values, geometry, operand count) miss.
+func TestFusedPlanFillAndLookup(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pool := parallel.NewPool(2)
+	defer pool.Close()
+	ws := pool.Acquire()
+	defer ws.Release()
+	const c = 4
+	left := randMats(rng, []int{3, 4}, c)
+	right := randMats(rng, []int{2, 5}, c)
+
+	var p Plan
+	p.Fill(pool, ws, 2, left, right)
+	if p.Fills() != 1 {
+		t.Fatalf("fills = %d, want 1", p.Fills())
+	}
+	if p.FilledRows() != 12+10 {
+		t.Fatalf("FilledRows = %d, want 22", p.FilledRows())
+	}
+
+	// The filled sides match a reference Full computation bitwise.
+	for _, side := range []struct {
+		ops  []mat.View
+		rows int
+	}{{left, 12}, {right, 10}} {
+		want := mat.NewDense(side.rows, c)
+		Full(side.ops, want)
+		got, ok := p.Lookup(side.ops)
+		if !ok {
+			t.Fatal("pointer-identical operands missed the plan")
+		}
+		for i := 0; i < want.R; i++ {
+			for j := 0; j < want.C; j++ {
+				if math.Float64bits(got.At(i, j)) != math.Float64bits(want.At(i, j)) {
+					t.Fatalf("plan row (%d,%d) = %v, want %v", i, j, got.At(i, j), want.At(i, j))
+				}
+			}
+		}
+	}
+
+	// Value equality in fresh buffers (the decoded-payload path) hits.
+	clones := make([]mat.View, len(left))
+	for i := range left {
+		clones[i] = left[i].Clone()
+	}
+	if _, ok := p.Lookup(clones); !ok {
+		t.Fatal("value-equal clones missed the plan")
+	}
+
+	// A single changed element misses.
+	clones[1].Set(0, 0, clones[1].At(0, 0)+1)
+	if _, ok := p.Lookup(clones); ok {
+		t.Fatal("value-mutated clone hit the plan")
+	}
+	// Wrong operand count misses.
+	if _, ok := p.Lookup(left[:1]); ok {
+		t.Fatal("truncated operand list hit the plan")
+	}
+	if p.Hits() != 3 || p.Misses() != 2 {
+		t.Fatalf("hits=%d misses=%d, want 3 and 2", p.Hits(), p.Misses())
+	}
+}
+
+// TestFusedPlanOneSided pins external-mode plans: an empty left side
+// leaves only the right KRP filled, and lookups against the empty side
+// miss rather than matching vacuously.
+func TestFusedPlanOneSided(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pool := parallel.NewPool(2)
+	defer pool.Close()
+	ws := pool.Acquire()
+	defer ws.Release()
+	ops := randMats(rng, []int{3, 2, 2}, 3)
+
+	var p Plan
+	p.Fill(pool, ws, 2, nil, ops)
+	if p.FilledRows() != 12 {
+		t.Fatalf("FilledRows = %d, want 12", p.FilledRows())
+	}
+	if _, ok := p.Lookup(ops); !ok {
+		t.Fatal("right-side operands missed a one-sided plan")
+	}
+	if _, ok := p.Lookup(randMats(rng, []int{3, 2, 2}, 3)); ok {
+		t.Fatal("different random operands hit the plan")
+	}
+}
+
+// TestFusedPlanReset pins the retention contract: Reset empties the plan
+// (every lookup misses) while counters survive, and a refill serves the
+// new factor set from the same arena storage.
+func TestFusedPlanReset(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pool := parallel.NewPool(2)
+	defer pool.Close()
+	ws := pool.Acquire()
+	defer ws.Release()
+	a := randMats(rng, []int{3, 2}, 3)
+	b := randMats(rng, []int{3, 2}, 3)
+
+	var p Plan
+	p.Fill(pool, ws, 2, a, nil)
+	if _, ok := p.Lookup(a); !ok {
+		t.Fatal("fill missed")
+	}
+	p.Reset()
+	if _, ok := p.Lookup(a); ok {
+		t.Fatal("reset plan still hit")
+	}
+	p.Fill(pool, ws, 2, b, nil)
+	if _, ok := p.Lookup(a); ok {
+		t.Fatal("refilled plan served the previous factor set")
+	}
+	if _, ok := p.Lookup(b); !ok {
+		t.Fatal("refilled plan missed its own factor set")
+	}
+	if p.Fills() != 2 {
+		t.Fatalf("fills = %d, want 2 (counters survive Reset)", p.Fills())
+	}
+}

@@ -2,11 +2,13 @@ package serve
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/cpd"
+	"repro/internal/krp"
 	"repro/internal/mat"
 	"repro/internal/parallel"
 )
@@ -26,6 +28,28 @@ type Config struct {
 	// DisableBatching turns off same-shape MTTKRP coalescing; every
 	// request becomes its own batch.
 	DisableBatching bool
+	// MaxBatch caps the requests one batch may coalesce; a full batch
+	// stops accepting joiners and the next same-key arrival opens a
+	// fresh one. The cap is what keeps the aging queue's starvation
+	// bound real: a batch's score divides by its total service estimate
+	// (cost × members), so an uncapped batch fed by a steady joiner
+	// stream would plateau instead of aging upward, starving its
+	// earliest members behind fresh traffic. With the cap, a queued
+	// batch waits at most ~MaxBatch · costRatio · AgeBias behind
+	// continuous arrivals. It also bounds the batch's non-preemptible
+	// back-to-back service time on one lease. 0 selects 32.
+	MaxBatch int
+	// DisableFusion turns off batch-level KRP fusion: coalesced batches
+	// run back-to-back recomputing their Khatri-Rao intermediates per
+	// member (the pre-fusion behavior, kept as the measured baseline).
+	// With fusion on (the default), every MTTKRP request carries a value
+	// fingerprint of the non-target factor set; batches still coalesce
+	// by shape alone (the lease/workspace amortization win is
+	// factor-independent), and the batch executor builds a shared KRP
+	// plan when at least two members fingerprint alike — only genuinely
+	// fusable members consume it (per-member value matching), the rest
+	// compute their own KRP exactly as before.
+	DisableFusion bool
 
 	// Cost selects the request cost model for cost-aware admission; the
 	// zero value is the default model (see CostModel).
@@ -60,6 +84,18 @@ type Stats struct {
 	// Batches counts executed batches; Coalesced counts requests that
 	// joined an existing same-shape batch instead of opening their own.
 	Batches, Coalesced int
+	// Fused counts batches that executed on a shared KRP plan (the
+	// Khatri-Rao intermediate computed once and consumed by the members
+	// whose factor set matches it); FusedSavedFlops prices the Hadamard
+	// flops those batches avoided — (plan rows served − one fill) × rank,
+	// from the plan's own hit counters, so partially-matching batches
+	// are priced by what the plan actually served. FusedFallbacks counts
+	// fusable batches whose plan build failed and fell back to the
+	// unfused member loop (a persistent rise means a shape class the
+	// plan cannot serve — observable degradation, not an error).
+	Fused           int
+	FusedSavedFlops float64
+	FusedFallbacks  int
 	// Active and Queued describe the instant of the snapshot; PeakActive
 	// and PeakQueued are the high-water marks of concurrently executing
 	// batches and of the admission queue depth.
@@ -113,7 +149,9 @@ type Server struct {
 	width      int // pool team width the admission policy divides
 	minWorkers int
 	maxActive  int
+	maxBatch   int
 	batching   bool
+	fusion     bool
 	evenSplit  bool
 	cost       CostModel
 	shareCap   int           // precomputed MaxShare · width, clamped to [minWorkers, width]
@@ -156,12 +194,16 @@ type grant struct {
 	started time.Time
 }
 
-// item is one submitted request plus its completion ticket.
+// item is one submitted request plus its completion ticket. fp is the
+// value fingerprint of the MTTKRP request's non-target factor set (0 =
+// unfusable method or unwalkable factors): the batch executor builds a
+// shared KRP plan when at least two members fingerprint alike.
 type item struct {
 	mt *MTTKRPRequest
 	cp *CPRequest
 	fn func(parallel.Executor) // test/instrumentation hook requests
 	tk *Ticket
+	fp uint64
 }
 
 // New creates a serving runtime with its own worker pool.
@@ -196,12 +238,18 @@ func New(cfg Config) *Server {
 	if ageBias <= 0 {
 		ageBias = time.Millisecond
 	}
+	maxBatch := cfg.MaxBatch
+	if maxBatch <= 0 {
+		maxBatch = 32
+	}
 	return &Server{
 		pool:       parallel.NewPool(width),
 		width:      width,
 		minWorkers: minW,
 		maxActive:  maxActive,
+		maxBatch:   maxBatch,
 		batching:   !cfg.DisableBatching,
+		fusion:     !cfg.DisableBatching && !cfg.DisableFusion,
 		evenSplit:  cfg.EvenSplit,
 		cost:       cfg.Cost,
 		shareCap:   shareCap,
@@ -263,6 +311,17 @@ func (s *Server) SubmitMTTKRP(req MTTKRPRequest) *Ticket {
 	}
 	it := &item{mt: &req, tk: newTicket()}
 	cost := costOf(req.CostHint, s.cost.MTTKRP(req.X.Dims(), req.Factors[0].C))
+	if s.fusion && core.PlanFusable(req.Method) {
+		// Fingerprint the factors the mode-n KRP is built from, by
+		// value. Batches coalesce by shape alone (amortizing lease and
+		// workspace across any same-shape traffic, factors regardless);
+		// the fingerprint decides at execution which members can share
+		// one KRP plan, so only genuinely fusable requests coalesce
+		// into a fused plan while the rest of the batch runs unfused.
+		if fp, ok := fuseFingerprint(&req); ok {
+			it.fp = fp
+		}
+	}
 	s.enqueue(shapeKey(req), "mttkrp", it, cost, weightOf(req.Weight))
 	return it.tk
 }
@@ -290,7 +349,11 @@ func (s *Server) submitFunc(key string, cost, weight float64, fn func(parallel.E
 }
 
 // enqueue joins an open same-shape batch or opens a new one, then kicks
-// the scheduler.
+// the scheduler. A batch accepts joiners only while it is in s.open,
+// which it leaves — under this same mutex — the moment scheduleLocked
+// pops it for execution, so a join after the batch has been granted a
+// lease is impossible: the executor goroutine is spawned while the lock
+// is still held, after which no path can append to b.items.
 func (s *Server) enqueue(key, kind string, it *item, cost, weight float64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -306,7 +369,12 @@ func (s *Server) enqueue(key, kind string, it *item, cost, weight float64) {
 			// priced at its most expensive one: same-shape items share a
 			// model cost by construction, but explicit CostHints may
 			// differ, and under-pricing the batch would let a cheap first
-			// item smuggle an expensive joiner past the aging queue.
+			// item smuggle an expensive joiner past the aging queue. The
+			// join also re-raises the batch's total service estimate —
+			// totalCost scales with len(items) — which the aging score,
+			// the budget split and ProjectedWait all price, so a batch
+			// bloated by joiners cannot keep jumping the queue as if it
+			// were a single request.
 			if weight > b.weight {
 				b.weight = weight
 			}
@@ -314,11 +382,19 @@ func (s *Server) enqueue(key, kind string, it *item, cost, weight float64) {
 				b.cost = cost
 			}
 			s.stats.Coalesced++
+			if len(b.items) >= s.maxBatch {
+				// Full: close the join window so the batch's aging score
+				// resumes growing (see Config.MaxBatch) and its lease-time
+				// stays bounded; the next arrival opens a fresh batch.
+				delete(s.open, key)
+			}
 			return
 		}
 	}
 	b := &batch{key: key, kind: kind, items: []*item{it}, cost: cost, weight: weight, enqueued: time.Now()}
-	if key != "" && s.batching {
+	if key != "" && s.batching && s.maxBatch > 1 {
+		// A fresh batch already holds one item, so it only opens a join
+		// window when the cap leaves room for a second.
 		s.open[key] = b
 	}
 	s.queue = append(s.queue, b)
@@ -348,10 +424,17 @@ func (s *Server) evenBudgetLocked(active int) int {
 // ageScore is the aging priority of a queued batch: cost-weighted deficit
 // that grows with wait time. Small requests score high immediately
 // (shortest-job-first), and a large request's age eventually dominates
-// fresh small arrivals, bounding its starvation at ~costRatio · AgeBias.
+// fresh small arrivals. The denominator is the batch's full service
+// estimate — per-item cost × items — so every join re-prices the batch: a
+// batch that has coalesced k requests is k× the work of a lone one and
+// must not outscore it as if it were still a single small request.
+// Because a join grows the denominator, the starvation bound is paid per
+// member: a queued batch waits at most ~members · costRatio · AgeBias —
+// capped at MaxBatch · costRatio · AgeBias, since a full batch stops
+// accepting joiners and its score resumes growing with age alone.
 func (s *Server) ageScore(b *batch, now time.Time) float64 {
 	age := now.Sub(b.enqueued) + s.ageBias
-	return b.weight * age.Seconds() / b.cost
+	return b.weight * age.Seconds() / b.totalCost()
 }
 
 // pickLocked removes and returns the next batch to admit: the oldest under
@@ -384,9 +467,12 @@ func (s *Server) scheduleLocked() {
 	for len(s.queue) > 0 && len(s.active) < s.maxActive {
 		now := time.Now()
 		b := s.pickLocked(now)
-		if b.key != "" {
+		if b.key != "" && s.open[b.key] == b {
 			// The batch stops accepting joiners the moment it is granted
-			// a lease; later same-shape arrivals open the next batch.
+			// a lease; later same-shape arrivals open the next batch. The
+			// identity guard matters after a MaxBatch cap-close: the key
+			// may already name a NEWER open batch whose join window must
+			// survive this admission.
 			delete(s.open, b.key)
 		}
 		if wait := msBetween(b.enqueued, now); wait > s.stats.MaxQueueWaitMs {
@@ -424,10 +510,13 @@ func (s *Server) rebalanceLocked() {
 	}
 	total := 0.0
 	for b := range s.active {
-		total += b.cost
+		total += b.totalCost()
 	}
 	for b, g := range s.active {
-		w := int(float64(s.width)*b.cost/total + 0.5)
+		// Budgets weight by the batch's full service estimate: a batch
+		// running k coalesced members back-to-back is k× the work of a
+		// singleton and earns the proportional share.
+		w := int(float64(s.width)*b.totalCost()/total + 0.5)
 		if w < s.minWorkers {
 			w = s.minWorkers
 		}
@@ -458,7 +547,10 @@ func (s *Server) ProjectedWait(cost float64) time.Duration {
 	}
 	ahead := 0.0
 	for _, b := range s.queue {
-		if s.evenSplit || b.cost <= cost {
+		// Aging scores by total service estimate, so a batch can only be
+		// overtaken by the new request when its full backlog — per-item
+		// cost × coalesced items — exceeds the request's cost.
+		if s.evenSplit || b.totalCost() <= cost {
 			ahead += b.totalCost()
 		}
 	}
@@ -481,21 +573,39 @@ func (s *Server) ProjectedWait(cost float64) time.Duration {
 }
 
 // run executes one batch on its lease, then returns the lease and admits
-// more work.
+// more work. A multi-member MTTKRP batch in which at least two members
+// fingerprint alike executes fused: the shared KRP plan is built once
+// under the lease before the member loop, matching members consume it
+// read-only, and the rest compute their own KRP exactly as unfused.
 func (s *Server) run(b *batch, g *grant) {
 	defer s.wg.Done()
 	lease := g.lease
 	if b.key != "" {
 		lease.SetWorkspaceKey("serve:" + b.key)
 	}
-	for _, it := range b.items {
-		it.execute(lease)
+	var fusedSaved float64
+	fused, fellBack := false, false
+	if seed := fuseSeed(b); seed != nil {
+		fusedSaved, fused = s.runFused(b, lease, seed)
+		fellBack = !fused
+	}
+	if !fused {
+		for _, it := range b.items {
+			it.execute(lease, nil)
+		}
 	}
 	dur := time.Since(g.started)
 	lease.Close()
 	s.mu.Lock()
 	delete(s.active, b)
 	s.observeRateLocked(b.totalCost(), dur)
+	if fused {
+		s.stats.Fused++
+		s.stats.FusedSavedFlops += fusedSaved
+	}
+	if fellBack {
+		s.stats.FusedFallbacks++
+	}
 	for _, it := range b.items {
 		s.stats.Completed++
 		if it.tk.err != nil {
@@ -506,6 +616,69 @@ func (s *Server) run(b *batch, g *grant) {
 	s.scheduleLocked()
 	s.maybeDrainedLocked()
 	s.mu.Unlock()
+}
+
+// fuseSeed picks the member whose factor set seeds the batch's shared KRP
+// plan: the first member whose fingerprint at least one other member
+// shares. nil means no plan is worth building (singleton batch, unfusable
+// methods, or all-distinct factor sets — each member then computes its
+// own KRP, the pre-fusion behavior).
+func fuseSeed(b *batch) *item {
+	if b.kind != "mttkrp" || len(b.items) < 2 {
+		return nil
+	}
+	for i, it := range b.items {
+		if it.fp == 0 {
+			continue
+		}
+		for _, other := range b.items[i+1:] {
+			if other.fp == it.fp {
+				return it
+			}
+		}
+	}
+	return nil
+}
+
+// newFusedPlanFrame builds the workspace-cached shared-KRP plan, so a
+// steady stream of same-shape fused batches refills one plan object with
+// arena-backed storage and allocates nothing.
+func newFusedPlanFrame() any { return new(krp.Plan) }
+
+// runFused executes a batch on a shared KRP plan seeded from one member's
+// factor set: fill once under the batch's lease, then run every member
+// against it — matching members hit, the rest miss and compute locally.
+// The saving is priced from the plan's own counters (rows served minus
+// the one formation the fill paid), so partially-matching batches are
+// priced by what the plan actually served. The plan workspace is held for
+// the whole batch (member kernels acquire their own from the same
+// shape-keyed list), and the plan is reset before release so no caller
+// factor memory is retained. Any panic while building the plan —
+// malformed factors surface in krp/core validation — falls back to the
+// unfused member loop (counted as FusedFallbacks), where the same panic
+// is recovered into the offending tickets; no member has executed yet
+// when Fill can panic.
+func (s *Server) runFused(b *batch, lease *parallel.Lease, seed *item) (saved float64, ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			saved, ok = 0, false
+		}
+	}()
+	req := seed.mt
+	ws := lease.Acquire()
+	defer ws.Release()
+	plan := ws.Frame("serve.fusedplan", newFusedPlanFrame).(*krp.Plan)
+	defer plan.Reset()
+	served0 := plan.ServedRows()
+	core.FillPlan(plan, lease, ws, 0, req.X, req.Factors, req.Mode)
+	for _, it := range b.items {
+		it.execute(lease, plan)
+	}
+	savedRows := plan.ServedRows() - served0 - int64(plan.FilledRows())
+	if savedRows > 0 {
+		saved = float64(savedRows) * float64(req.Factors[0].C)
+	}
+	return saved, true
 }
 
 // observeRateLocked folds one completed batch into the served-cost-rate
@@ -553,8 +726,10 @@ func (s *Server) Drain() {
 // execute runs one request on the granted executor, recovering kernel
 // panics (shape mismatches and the like) into the ticket. Kernel phase
 // boundaries reconcile the executor, so a budget change issued by the
-// scheduler mid-request lands at the next safe point.
-func (it *item) execute(ex parallel.Executor) {
+// scheduler mid-request lands at the next safe point. A non-nil plan is
+// the batch's shared KRP intermediate: MTTKRP members consume it
+// read-only (falling back per-side on a mismatch), other kinds ignore it.
+func (it *item) execute(ex parallel.Executor, plan *krp.Plan) {
 	tk := it.tk
 	defer func() {
 		if r := recover(); r != nil {
@@ -570,11 +745,18 @@ func (it *item) execute(ex parallel.Executor) {
 			dst = mat.NewDense(req.X.Dim(req.Mode), req.Factors[0].C)
 		}
 		// Threads = 0 resolves to the lease's granted budget; PhaseNotify
-		// applies pending budget changes at each computation boundary.
-		tk.m = core.ComputeInto(dst, req.Method, req.X, req.Factors, req.Mode, core.Options{
+		// applies pending budget changes at each computation boundary —
+		// also between fused batch members, so a mid-batch Reconcile
+		// lands exactly as it would on the unfused path.
+		opts := core.Options{
 			Pool:        ex,
 			PhaseNotify: func() { parallel.Reconcile(ex) },
-		})
+		}
+		if plan != nil {
+			tk.m = core.ComputeIntoWithPlan(dst, req.Method, req.X, req.Factors, req.Mode, opts, plan)
+		} else {
+			tk.m = core.ComputeInto(dst, req.Method, req.X, req.Factors, req.Mode, opts)
+		}
 	case it.cp != nil:
 		cfg := it.cp.Config
 		cfg.Pool = ex
@@ -629,4 +811,40 @@ func shapeKey(r MTTKRPRequest) string {
 		key = fmt.Appendf(key, "%dx", r.X.Dim(i))
 	}
 	return string(fmt.Appendf(key, "|c%d|n%d|m%d", r.Factors[0].C, r.Mode, int(r.Method)))
+}
+
+// fuseFingerprint hashes the factor set an MTTKRP's shared KRP is built
+// from — every factor except the target mode's, which is not a KRP
+// operand — by value (FNV-1a over dimensions and element bits), so
+// requests carrying identical factors fuse even when each decoded its
+// payload into a different buffer (the network path). A collision merely
+// coalesces unfusable requests into one batch; the plan's own value
+// comparison then misses and each member computes its KRP locally, so a
+// collision costs a shared queue slot, never correctness. Requests whose
+// factor views the fingerprint cannot walk (non-unit column stride,
+// malformed geometry) report ok = false and stay on the plain shape key.
+func fuseFingerprint(r *MTTKRPRequest) (fp uint64, ok bool) {
+	defer func() {
+		if recover() != nil {
+			fp, ok = 0, false
+		}
+	}()
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for k, f := range r.Factors {
+		if k == r.Mode {
+			continue
+		}
+		if f.CS != 1 {
+			return 0, false
+		}
+		h = (h ^ uint64(f.R)) * prime64
+		h = (h ^ uint64(f.C)) * prime64
+		for i := 0; i < f.R; i++ {
+			for _, x := range f.ContiguousRow(i) {
+				h = (h ^ math.Float64bits(x)) * prime64
+			}
+		}
+	}
+	return h, true
 }

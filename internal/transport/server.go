@@ -335,13 +335,26 @@ func (s *Server) admission(w http.ResponseWriter, r *http.Request, h *Header) (c
 	if s.cfg.MaxQueueDelay > 0 {
 		if wait := s.sched.ProjectedWait(cost); wait > s.cfg.MaxQueueDelay {
 			s.shedRejected.Add(1)
-			secs := int64(wait/time.Second) + 1
-			w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+			w.Header().Set("Retry-After", strconv.FormatInt(retryAfterSeconds(wait), 10))
 			http.Error(w, fmt.Sprintf("projected queue delay %v exceeds %v", wait.Round(time.Millisecond), s.cfg.MaxQueueDelay), http.StatusTooManyRequests)
 			return 0, 0, false
 		}
 	}
 	return cost, weight, true
+}
+
+// retryAfterSeconds converts a projected wait into the Retry-After header
+// value: ceiled to whole seconds, never below 1. Retry-After carries
+// integer seconds, so a sub-second wait must round up — truncation would
+// report 0 and tell a well-behaved client to hammer the server again
+// immediately — and an exact multiple must not gain a spurious extra
+// second (the historical floor+1).
+func retryAfterSeconds(wait time.Duration) int64 {
+	secs := int64((wait + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
 }
 
 // handleCompute is the shared data path of /v1/mttkrp and /v1/cp.

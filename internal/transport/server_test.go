@@ -8,6 +8,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -430,4 +431,83 @@ func TestHTTPGracefulDrain(t *testing.T) {
 		t.Fatalf("post-drain submission: %v, want ErrDraining", err)
 	}
 	t.Logf("drain race: %d/%d completed, rest rejected cleanly", completed, len(results))
+}
+
+// TestRetryAfterCeiledToWholeSeconds pins the 429 shed hint's rounding:
+// sub-second projected waits must round UP to 1 — a truncated "0" tells a
+// well-behaved client to retry immediately, defeating the shed — and
+// exact whole-second waits must not gain a spurious extra second.
+func TestRetryAfterCeiledToWholeSeconds(t *testing.T) {
+	for _, tc := range []struct {
+		wait time.Duration
+		want int64
+	}{
+		{time.Nanosecond, 1},
+		{time.Millisecond, 1},
+		{500 * time.Millisecond, 1}, // the sub-second case the truncation bug zeroed
+		{time.Second, 1},
+		{time.Second + time.Millisecond, 2},
+		{1500 * time.Millisecond, 2},
+		{2 * time.Second, 2}, // the floor+1 bug reported 3 here
+		{2*time.Second + 500*time.Millisecond, 3},
+	} {
+		if got := retryAfterSeconds(tc.wait); got != tc.want {
+			t.Errorf("retryAfterSeconds(%v) = %d, want %d", tc.wait, got, tc.want)
+		}
+	}
+}
+
+// TestRetryAfterSubSecondShed drives the sub-second shed end to end
+// through the HTTP handler: a saturated scheduler whose projected wait
+// can be well under a second must answer 429 with a Retry-After the
+// client can obey — an integer ≥ 1, never the truncated "0" that tells a
+// well-behaved client to retry immediately.
+func TestRetryAfterSubSecondShed(t *testing.T) {
+	s, c := startServer(t, Config{
+		Serve:         serve.Config{Workers: 2, MaxActive: 1},
+		MaxQueueDelay: time.Nanosecond, // any measurable backlog sheds
+	})
+	x, u := problem(29, 4, 8, 7, 6)
+	// Seed the service-rate estimate (ProjectedWait reports 0 until one
+	// batch has completed; with no estimate nothing sheds).
+	if _, _, err := c.MTTKRP(mat.View{}, x, u, 1, core.MethodAuto); err != nil {
+		t.Fatalf("warmup: %v", err)
+	}
+	// Saturate the only admission slot so every projected wait is
+	// positive while the blocker runs.
+	blocker := s.sched.SubmitCP(serve.CPRequest{
+		X:        x,
+		Config:   cpd.Config{Rank: 2, MaxIters: 500, Tol: -1},
+		CostHint: 1e9,
+	})
+	for {
+		if st := s.sched.Stats(); st.Active >= 1 {
+			break
+		}
+		select {
+		case <-blocker.Done():
+			t.Skip("blocker finished before saturation was observed")
+		default:
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+
+	var body bytes.Buffer
+	h := &Header{Op: OpMTTKRP, Mode: 1, Rank: 4, Dims: x.Dims()}
+	if err := WriteRequest(&body, h, x, u); err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("POST", "/v1/mttkrp", &body))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Skipf("status %d: backlog drained before the shed could be observed", rec.Code)
+	}
+	ra := rec.Header().Get("Retry-After")
+	secs, err := strconv.ParseInt(ra, 10, 64)
+	if err != nil || secs < 1 {
+		t.Fatalf("shed Retry-After = %q, want an integer >= 1", ra)
+	}
+	if err := blocker.Err(); err != nil {
+		t.Fatalf("blocker: %v", err)
+	}
 }
