@@ -1,0 +1,90 @@
+// mttkrp-lint machine-checks the runtime's concurrency and memory
+// invariants (DESIGN.md §11): arena lifetimes, the t=0 width-resolution
+// rule, phase-notification safe-points, non-blocking region bodies, and
+// the //mttkrp:noalloc steady-state contract.
+//
+// Two ways to run it:
+//
+//	go run ./cmd/mttkrp-lint ./...          # standalone, exit 1 on findings
+//	go vet -vettool=$(which mttkrp-lint) ./...  # unit-checker protocol
+//
+// In vettool mode the binary implements cmd/go's vet-tool contract: it
+// answers the -V=full handshake with a content ID derived from its own
+// executable (so `go vet` can cache per-package results), fast-paths the
+// dependency passes cmd/go schedules (vet.cfg with VetxOnly), and reports
+// diagnostics by printing them and exiting nonzero.
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/analysis/driver"
+	"repro/internal/analysis/suite"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mttkrp-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	vFlag := fs.String("V", "", "print version and exit (cmd/go vet-tool handshake; use -V=full)")
+	flagsFlag := fs.Bool("flags", false, "print the tool's analyzer flags as JSON and exit (cmd/go vet-tool handshake)")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: mttkrp-lint [packages]  |  mttkrp-lint <vet.cfg>  |  go vet -vettool=mttkrp-lint [packages]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *vFlag != "" {
+		return printVersion(stdout, stderr)
+	}
+	if *flagsFlag {
+		// cmd/go queries `tool -flags` for a JSON description of the
+		// tool's own flags so it can forward matching command-line
+		// arguments. The suite is deliberately knobless: every analyzer
+		// always runs, so the answer is the empty list.
+		fmt.Fprintln(stdout, "[]")
+		return 0
+	}
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return driver.Vet(stderr, suite.All(), rest[0])
+	}
+	if len(rest) == 0 {
+		rest = []string{"./..."}
+	}
+	return driver.Standalone(stderr, suite.All(), rest)
+}
+
+// printVersion answers the -V=full handshake. cmd/go requires the form
+// "<tool> version devel ... buildID=<id>" and uses the id to key its vet
+// result cache, so the id must change whenever the tool's behavior could:
+// hashing the executable itself gives exactly that.
+func printVersion(stdout, stderr io.Writer) int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(stderr, "mttkrp-lint: %v\n", err)
+		return 1
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		fmt.Fprintf(stderr, "mttkrp-lint: %v\n", err)
+		return 1
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		fmt.Fprintf(stderr, "mttkrp-lint: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "mttkrp-lint version devel buildID=%x\n", h.Sum(nil)[:16])
+	return 0
+}

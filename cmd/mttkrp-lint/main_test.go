@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// moduleDir returns the root directory of the repro module.
+func moduleDir(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "list", "-m", "-f", "{{.Dir}}").Output()
+	if err != nil {
+		t.Fatalf("go list -m: %v", err)
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// buildTool compiles the vettool once per test binary.
+func buildTool(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "mttkrp-lint")
+	cmd := exec.Command("go", "build", "-o", bin, "repro/cmd/mttkrp-lint")
+	cmd.Dir = moduleDir(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building mttkrp-lint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestHandshake pins the -V=full contract cmd/go parses before trusting a
+// vettool: "<tool> version devel ... buildID=<id>".
+func TestHandshake(t *testing.T) {
+	bin := buildTool(t)
+	out, err := exec.Command(bin, "-V=full").Output()
+	if err != nil {
+		t.Fatalf("-V=full: %v", err)
+	}
+	re := regexp.MustCompile(`^mttkrp-lint version devel buildID=[0-9a-f]+\n$`)
+	if !re.Match(out) {
+		t.Fatalf("-V=full output %q does not match %s", out, re)
+	}
+}
+
+// TestVettoolCleanTree is the acceptance gate: the full suite over the
+// production tree through the real `go vet -vettool` protocol, exit 0.
+func TestVettoolCleanTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs go vet over the whole module")
+	}
+	bin := buildTool(t)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = moduleDir(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool on the production tree reported findings: %v\n%s", err, out)
+	}
+}
+
+// TestVettoolCatchesSeededViolation proves the gate gates: the
+// deliberately broken package behind the lintfixture tag must fail the
+// vet run with an arenaescape diagnostic.
+func TestVettoolCatchesSeededViolation(t *testing.T) {
+	bin := buildTool(t)
+	cmd := exec.Command("go", "vet", "-tags", "lintfixture", "-vettool="+bin,
+		"./internal/analysis/lintfixture")
+	cmd.Dir = moduleDir(t)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet passed the seeded violation; the lint gate is not checking anything:\n%s", out)
+	}
+	if !bytes.Contains(out, []byte("mttkrp/arenaescape")) {
+		t.Fatalf("seeded violation failed for the wrong reason:\n%s", out)
+	}
+	if !bytes.Contains(out, []byte("leakedBuffer")) {
+		t.Fatalf("diagnostic does not name the leaked global:\n%s", out)
+	}
+}
+
+// TestStandaloneMode covers the `go run ./cmd/mttkrp-lint ./...` path.
+func TestStandaloneMode(t *testing.T) {
+	bin := buildTool(t)
+	cmd := exec.Command(bin, "./internal/parallel", "./internal/krp")
+	cmd.Dir = moduleDir(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("standalone run reported findings: %v\n%s", err, out)
+	}
+	// And the standalone path must also see the seeded violation.
+	cmd = exec.Command(bin, "./internal/analysis/lintfixture")
+	cmd.Dir = moduleDir(t)
+	cmd.Env = append(os.Environ(), "GOFLAGS=-tags=lintfixture")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("standalone run passed the seeded violation:\n%s", out)
+	}
+	if !bytes.Contains(out, []byte("mttkrp/arenaescape")) {
+		t.Fatalf("standalone seeded violation failed for the wrong reason:\n%s", out)
+	}
+}

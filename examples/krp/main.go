@@ -8,18 +8,18 @@ package main
 import (
 	"fmt"
 	"math/rand"
-	"runtime"
 	"time"
 
 	"repro"
 	"repro/internal/krp"
 	"repro/internal/mat"
+	"repro/internal/parallel"
 )
 
 func main() {
 	rng := rand.New(rand.NewSource(1))
 	c := 25
-	threads := runtime.GOMAXPROCS(0)
+	threads := parallel.DefaultThreads()
 
 	// Small exact example first: K = A ⊙ B row conventions.
 	a := repro.RandomMatrix(2, 3, rng)

@@ -11,18 +11,18 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
-	"runtime"
 	"strconv"
 	"strings"
 	"time"
 
 	"repro"
+	"repro/internal/parallel"
 )
 
 func main() {
 	dimsFlag := flag.String("dims", "120,110,100", "tensor dimensions")
 	rank := flag.Int("rank", 25, "KRP column count C")
-	maxThreads := flag.Int("maxthreads", runtime.GOMAXPROCS(0), "thread sweep upper bound")
+	maxThreads := flag.Int("maxthreads", parallel.DefaultThreads(), "thread sweep upper bound")
 	flag.Parse()
 
 	dims, err := parseDims(*dimsFlag)

@@ -1,0 +1,59 @@
+// Package analysis is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis vocabulary: an Analyzer is a named check,
+// a Pass is one analyzer applied to one type-checked package, and a
+// Diagnostic is one finding. It exists because this module builds offline
+// against the standard library only; the subset implemented here is
+// exactly what the mttkrp-lint suite needs (package-at-a-time syntactic +
+// type-based checks, no cross-package facts).
+//
+// The analyzers themselves live in the subpackages arenaescape,
+// effectiveresolve, phasehook, regionblock and noalloc; package suite
+// collects them, package driver runs them (standalone or as a `go vet
+// -vettool`), and package analysistest runs their golden-file fixtures.
+// DESIGN.md §11 maps each analyzer to the runtime invariant it enforces.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one lint pass. Name is the identifier used in
+// diagnostics and in `//lint:ignore mttkrp/<name> reason` suppression
+// directives; Doc is a one-paragraph description whose first line is a
+// summary.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer. Files holds
+// the parsed sources the driver wants analyzed (test files are excluded;
+// see driver); TypesInfo is fully populated (Types, Defs, Uses,
+// Selections, Implicits, Scopes).
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report records a finding. The driver wires this; analyzers must
+	// use it rather than printing.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a diagnostic at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding of one analyzer at one position.
+type Diagnostic struct {
+	Analyzer string // filled by the driver from the reporting analyzer
+	Pos      token.Pos
+	Message  string
+}

@@ -1,0 +1,131 @@
+// Package analysistest runs one analyzer over a GOPATH-style fixture tree
+// (testdata/src/<import/path>/*.go) and checks its diagnostics against
+// expectations written in the fixture source as trailing comments:
+//
+//	ws.data = buf // want `stored into struct field`
+//
+// Each expectation is a quoted or backquoted regular expression that must
+// match the message of a diagnostic reported on that line; a line may
+// carry several. Unmatched diagnostics and unmatched expectations are both
+// test failures, so a fixture pins the analyzer's behavior exactly — the
+// clean sections of a fixture (no want comments) assert silence.
+//
+// Fixtures load through driver.RunPackage, so //lint:ignore suppression is
+// active inside fixtures and can itself be put under test.
+package analysistest
+
+import (
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/driver"
+	"repro/internal/analysis/load"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// expectation is one // want regexp at a file:line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// wantArgRE matches one quoted or backquoted string.
+var wantArgRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// parseWants extracts the expectations of one parsed file.
+func parseWants(t *testing.T, pkg *load.Package, f *ast.File) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, "// want ")
+			if !ok {
+				continue
+			}
+			pos := pkg.Fset.Position(c.Pos())
+			args := wantArgRE.FindAllString(rest, -1)
+			if len(args) == 0 {
+				t.Fatalf("%s: malformed want comment: %q", pos, c.Text)
+			}
+			for _, a := range args {
+				var pat string
+				if a[0] == '`' {
+					pat = a[1 : len(a)-1]
+				} else {
+					var err error
+					if pat, err = strconv.Unquote(a); err != nil {
+						t.Fatalf("%s: bad want pattern %s: %v", pos, a, err)
+					}
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+				}
+				out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: pat})
+			}
+		}
+	}
+	return out
+}
+
+// Run loads each fixture package and checks the analyzer's diagnostics
+// against the fixture's want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	root := filepath.Join(testdata, "src")
+	for _, path := range paths {
+		pkg, err := load.Fixture("", root, path)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		var wants []*expectation
+		for _, f := range pkg.Files {
+			wants = append(wants, parseWants(t, pkg, f)...)
+		}
+		diags, err := driver.RunPackage(pkg, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, path, err)
+		}
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			if !claim(wants, pos.Filename, pos.Line, d.Message) {
+				t.Errorf("%s: unexpected diagnostic: %s: %s", pos, d.Analyzer, d.Message)
+			}
+		}
+		for _, w := range wants {
+			if !w.matched {
+				t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+			}
+		}
+	}
+}
+
+// claim marks the first unmatched expectation at file:line whose regexp
+// matches message.
+func claim(wants []*expectation, file string, line int, message string) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == file && w.line == line && w.re.MatchString(message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package arenaescape_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/arenaescape"
+)
+
+func TestArenaEscape(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), arenaescape.Analyzer, "arenafix")
+}

@@ -1,0 +1,189 @@
+// Package driver runs the mttkrp-lint analyzer suite over loaded packages
+// and implements the two execution protocols of cmd/mttkrp-lint:
+// standalone (`go run ./cmd/mttkrp-lint ./...`) and the `go vet -vettool`
+// unit-checker protocol (one JSON config file per package, written by
+// cmd/go).
+//
+// # Suppression directives
+//
+// A comment of the form
+//
+//	//lint:ignore mttkrp/<name>[,mttkrp/<name>...] reason
+//
+// on the flagged line, or on the line directly above it, suppresses the
+// named analyzers' diagnostics for that line. The reason is mandatory: a
+// scoped directive without one is itself reported (as mttkrp/directive).
+// Directives scoped to other tools (staticcheck check codes, etc.) are
+// left alone.
+package driver
+
+import (
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+// scope is the directive namespace this suite owns.
+const scope = "mttkrp/"
+
+// ignore is one parsed //lint:ignore directive.
+type ignore struct {
+	file  string
+	line  int
+	names map[string]bool // analyzer names (without the mttkrp/ prefix)
+}
+
+// collectIgnores parses the suppression directives of a package and
+// reports malformed ones through report.
+func collectIgnores(pkg *load.Package, report func(analysis.Diagnostic)) []ignore {
+	var out []ignore
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:ignore ")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) == 0 || !strings.HasPrefix(fields[0], scope) {
+					continue // another tool's directive
+				}
+				if len(fields) < 2 {
+					report(analysis.Diagnostic{
+						Analyzer: "directive",
+						Pos:      c.Pos(),
+						Message:  "malformed //lint:ignore: need a reason after the check name",
+					})
+					continue
+				}
+				names := make(map[string]bool)
+				for _, n := range strings.Split(fields[0], ",") {
+					names[strings.TrimPrefix(n, scope)] = true
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				out = append(out, ignore{file: pos.Filename, line: pos.Line, names: names})
+			}
+		}
+	}
+	return out
+}
+
+// RunPackage applies the analyzers to one package and returns its
+// surviving diagnostics sorted by position.
+func RunPackage(pkg *load.Package, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	var diags []analysis.Diagnostic
+	report := func(d analysis.Diagnostic) { diags = append(diags, d) }
+	ignores := collectIgnores(pkg, report)
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		pass.Report = func(d analysis.Diagnostic) {
+			d.Analyzer = a.Name
+			diags = append(diags, d)
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s on %s: %v", a.Name, pkg.Path, err)
+		}
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if !suppressed(pkg.Fset, ignores, d) {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool { return kept[i].Pos < kept[j].Pos })
+	return kept, nil
+}
+
+// suppressed reports whether an ignore directive on the diagnostic's line
+// (or the line above it) names the diagnostic's analyzer.
+func suppressed(fset *token.FileSet, ignores []ignore, d analysis.Diagnostic) bool {
+	if len(ignores) == 0 || d.Analyzer == "directive" {
+		return false
+	}
+	pos := fset.Position(d.Pos)
+	for _, ig := range ignores {
+		if ig.file == pos.Filename && (ig.line == pos.Line || ig.line+1 == pos.Line) && ig.names[d.Analyzer] {
+			return true
+		}
+	}
+	return false
+}
+
+// printDiags writes diagnostics in the standard file:line:col form.
+func printDiags(w io.Writer, fset *token.FileSet, diags []analysis.Diagnostic) {
+	for _, d := range diags {
+		fmt.Fprintf(w, "%s: %s%s: %s\n", fset.Position(d.Pos), scope, d.Analyzer, d.Message)
+	}
+}
+
+// Standalone loads the packages matched by patterns (in the current
+// module) and lints them, printing diagnostics to stderr. The return
+// value is the process exit code: 0 clean, 1 diagnostics, 2 failure.
+func Standalone(stderr io.Writer, analyzers []*analysis.Analyzer, patterns []string) int {
+	pkgs, err := load.Patterns("", patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "mttkrp-lint: %v\n", err)
+		return 2
+	}
+	found := false
+	for _, pkg := range pkgs {
+		diags, err := RunPackage(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintf(stderr, "mttkrp-lint: %v\n", err)
+			return 2
+		}
+		if len(diags) > 0 {
+			found = true
+			printDiags(stderr, pkg.Fset, diags)
+		}
+	}
+	if found {
+		return 1
+	}
+	return 0
+}
+
+// Vet implements the cmd/go vet-tool protocol for one package config
+// file: analyze, write the (empty — the suite is fact-free) .vetx output
+// so cmd/go can cache the result, and print diagnostics to stderr. The
+// return value is the process exit code.
+func Vet(stderr io.Writer, analyzers []*analysis.Analyzer, cfgPath string) int {
+	pkg, cfg, err := load.Vet(cfgPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "mttkrp-lint: %v\n", err)
+		return 1
+	}
+	if cfg.VetxOutput != "" {
+		// The suite computes no cross-package facts; an empty output file
+		// still lets cmd/go cache "this package was linted".
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(stderr, "mttkrp-lint: %v\n", err)
+			return 1
+		}
+	}
+	if pkg == nil {
+		return 0 // dependency pass (VetxOnly) or nothing to analyze
+	}
+	diags, err := RunPackage(pkg, analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "mttkrp-lint: %v\n", err)
+		return 1
+	}
+	if len(diags) > 0 {
+		printDiags(stderr, pkg.Fset, diags)
+		return 2
+	}
+	return 0
+}

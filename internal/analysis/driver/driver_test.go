@@ -1,0 +1,43 @@
+package driver
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+// TestDirectiveParsing pins the //lint:ignore grammar: a scoped directive
+// without a reason is itself a diagnostic, foreign-scope directives are
+// ignored, and well-formed multi-name directives parse silently.
+func TestDirectiveParsing(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := load.Fixture("", root, "directivefix")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags, err := RunPackage(pkg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want exactly the malformed-directive one: %+v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Analyzer != "directive" || !strings.Contains(d.Message, "need a reason") {
+		t.Fatalf("unexpected diagnostic: %s: %s", d.Analyzer, d.Message)
+	}
+
+	ignores := collectIgnores(pkg, func(analysis.Diagnostic) {})
+	if len(ignores) != 1 {
+		t.Fatalf("got %d parsed ignores, want 1 (reasonless and foreign-scope directives don't parse): %+v", len(ignores), ignores)
+	}
+	if !ignores[0].names["arenaescape"] || !ignores[0].names["noalloc"] {
+		t.Fatalf("multi-name directive did not parse both names: %+v", ignores)
+	}
+}

@@ -1,0 +1,9 @@
+// Fixture for the driver's //lint:ignore directive parsing.
+package directivefix
+
+func f() int {
+	//lint:ignore mttkrp/noalloc
+	//lint:ignore ST1000 foreign scope, left to its own tool
+	//lint:ignore mttkrp/arenaescape,mttkrp/noalloc multi-name with a reason
+	return 0
+}

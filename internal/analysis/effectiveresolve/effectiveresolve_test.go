@@ -1,0 +1,13 @@
+package effectiveresolve_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/effectiveresolve"
+)
+
+func TestEffectiveResolve(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), effectiveresolve.Analyzer,
+		"kernelfix/internal/core", "servefix")
+}

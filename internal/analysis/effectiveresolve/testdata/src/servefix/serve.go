@@ -1,0 +1,18 @@
+// Non-kernel fixture for the effectiveresolve analyzer: admission code may
+// read team widths (Workers is legitimate here), but GOMAXPROCS is still
+// reserved to the parallel runtime.
+package servefix
+
+import (
+	"runtime"
+
+	"repro/internal/parallel"
+)
+
+func Budget(p *parallel.Pool) int {
+	return p.Workers() // clean: scheduler code reads the team width for budgets
+}
+
+func BadProcs() int {
+	return runtime.GOMAXPROCS(0) // want `runtime.GOMAXPROCS read outside the parallel runtime`
+}

@@ -1,0 +1,23 @@
+//go:build lintfixture
+
+// Package lintfixture holds a deliberately seeded invariant violation,
+// compiled only under the lintfixture build tag. CI proves the lint gate
+// actually gates by running
+//
+//	go vet -tags lintfixture -vettool=<mttkrp-lint> ./internal/analysis/lintfixture
+//
+// and requiring it to FAIL; cmd/mttkrp-lint's tests do the same. A lint
+// job that passes this package has silently stopped checking anything.
+package lintfixture
+
+import "repro/internal/parallel"
+
+// leakedBuffer outlives every workspace region on purpose: storing an
+// arena-leased slice into a package-level variable is the exact aliasing
+// bug class arenaescape exists to catch.
+var leakedBuffer []float64
+
+// Seed leaks an arena-backed buffer into a global.
+func Seed(ws *parallel.Workspace, n int) {
+	leakedBuffer = ws.Arena(0).Float64("seeded-violation", n)
+}

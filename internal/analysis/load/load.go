@@ -1,0 +1,393 @@
+// Package load type-checks Go packages for the mttkrp-lint analyzers
+// without golang.org/x/tools: it parses sources with go/parser and
+// resolves imports through gc export data produced by the `go` command
+// (`go list -export` writes export files into the build cache; the
+// standard go/importer reads them via a lookup function). Three entry
+// points cover the three ways the suite runs:
+//
+//   - Patterns: standalone mode (`go run ./cmd/mttkrp-lint ./...`) —
+//     shells out to `go list -deps -export -json` and type-checks every
+//     non-standard package it returns;
+//   - Vet: `go vet -vettool` mode — loads the single package described by
+//     the vet config file cmd/go passes to vet tools;
+//   - Fixture: analysistest mode — loads a GOPATH-style fixture tree
+//     (testdata/src/<import/path>/*.go), resolving imports first against
+//     the fixture tree, then against the real build (so fixtures can
+//     declare stub packages under runtime import paths or import the real
+//     runtime directly).
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// newInfo allocates a fully-populated types.Info.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+// exportLookup is a types importer over a path → export-file map, backed
+// by the standard gc importer.
+type exportLookup struct {
+	mu    sync.Mutex
+	files map[string]string // package path → export data file
+	gc    types.Importer
+}
+
+func newExportLookup(fset *token.FileSet) *exportLookup {
+	e := &exportLookup{files: make(map[string]string)}
+	e.gc = importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		e.mu.Lock()
+		f, ok := e.files[path]
+		e.mu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+	return e
+}
+
+func (e *exportLookup) add(path, file string) {
+	if file == "" {
+		return
+	}
+	e.mu.Lock()
+	e.files[path] = file
+	e.mu.Unlock()
+}
+
+func (e *exportLookup) has(path string) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	_, ok := e.files[path]
+	return ok
+}
+
+func (e *exportLookup) Import(path string) (*types.Package, error) {
+	return e.gc.Import(path)
+}
+
+// listedPackage is the subset of `go list -json` output the loader uses.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	Standard   bool
+	GoFiles    []string
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -deps -export -json` for patterns in dir and
+// decodes the stream.
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Dir,Export,Standard,GoFiles,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []*listedPackage
+	for {
+		p := new(listedPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Patterns loads every non-standard-library package matched by the go
+// package patterns (plus their non-standard dependencies), type-checked
+// against gc export data. dir is the working directory for the go command
+// ("" = current).
+func Patterns(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	exports := newExportLookup(fset)
+	for _, lp := range listed {
+		exports.add(lp.ImportPath, lp.Export)
+	}
+	var out []*Package
+	for _, lp := range listed {
+		if lp.Standard || lp.ImportPath == "unsafe" {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list: package %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		var files []string
+		for _, f := range lp.GoFiles {
+			files = append(files, filepath.Join(lp.Dir, f))
+		}
+		pkg, err := check(fset, lp.ImportPath, files, exports, "")
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// check parses files and type-checks them as one package.
+func check(fset *token.FileSet, path string, files []string, imp types.Importer, goVersion string) (*Package, error) {
+	var parsed []*ast.File
+	for _, f := range files {
+		af, err := parser.ParseFile(fset, f, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		parsed = append(parsed, af)
+	}
+	info := newInfo()
+	conf := types.Config{
+		Importer:  imp,
+		GoVersion: goVersion,
+		Error:     func(error) {}, // collect all errors; first one reported below
+	}
+	var firstErr error
+	conf.Error = func(err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	tpkg, _ := conf.Check(path, fset, parsed, info)
+	if firstErr != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", path, firstErr)
+	}
+	return &Package{Path: path, Fset: fset, Files: parsed, Types: tpkg, Info: info}, nil
+}
+
+// VetConfig mirrors the JSON configuration cmd/go writes for vet tools
+// (cmd/go/internal/work.vetConfig). Fields the suite does not consume are
+// still decoded so the file round-trips cleanly.
+type VetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ModulePath    string
+	ModuleVersion string
+	ImportMap     map[string]string
+	PackageFile   map[string]string
+	Standard      map[string]bool
+	PackageVetx   map[string]string
+	VetxOnly      bool
+	VetxOutput    string
+	GoVersion     string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// goVersionRE guards types.Config.GoVersion, which panics on malformed
+// versions.
+var goVersionRE = regexp.MustCompile(`^go[0-9]+(\.[0-9]+)*$`)
+
+// Vet loads the single package described by a vet config file. The
+// returned package is nil (with a nil error) when there is nothing to
+// analyze: a VetxOnly dependency pass, or a package whose non-test file
+// list is empty (external test packages). Test files are excluded from
+// analysis — the suite checks production invariants, and test code
+// exercises forbidden shapes on purpose (the region-deadlock test in
+// internal/parallel being the canonical example).
+func Vet(cfgPath string) (*Package, *VetConfig, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := new(VetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, nil, fmt.Errorf("parsing vet config %s: %v", cfgPath, err)
+	}
+	if cfg.VetxOnly {
+		return nil, cfg, nil
+	}
+	var files []string
+	for _, f := range cfg.GoFiles {
+		if strings.HasSuffix(f, "_test.go") {
+			continue
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, cfg, nil
+	}
+	fset := token.NewFileSet()
+	exports := newExportLookup(fset)
+	for path, file := range cfg.PackageFile {
+		exports.add(path, file)
+	}
+	imp := &vetImporter{exports: exports, importMap: cfg.ImportMap}
+	goVersion := cfg.GoVersion
+	if !goVersionRE.MatchString(goVersion) {
+		goVersion = ""
+	}
+	pkg, err := check(fset, cfg.ImportPath, files, imp, goVersion)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, cfg, nil
+		}
+		return nil, cfg, err
+	}
+	return pkg, cfg, nil
+}
+
+// vetImporter resolves source import paths through the vet config's
+// ImportMap before looking up export data.
+type vetImporter struct {
+	exports   *exportLookup
+	importMap map[string]string
+}
+
+func (v *vetImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := v.importMap[path]; ok {
+		path = mapped
+	}
+	return v.exports.Import(path)
+}
+
+// fixtureState is the process-wide cache behind Fixture: export data is
+// resolved through `go list` once per import path and shared across
+// fixture loads (analysistest calls Fixture once per fixture package).
+var fixtureState struct {
+	mu      sync.Mutex
+	fset    *token.FileSet
+	exports *exportLookup
+}
+
+// Fixture loads the fixture package at root/path (a GOPATH-style source
+// tree: the directory name under root is the package's import path).
+// Imports resolve against sibling fixture directories first, then against
+// the real build via `go list -export` run from dir (the module the test
+// runs in), so fixtures may declare stub packages under any import path
+// or import real module/stdlib packages directly.
+func Fixture(dir, root, path string) (*Package, error) {
+	fixtureState.mu.Lock()
+	if fixtureState.fset == nil {
+		fixtureState.fset = token.NewFileSet()
+		fixtureState.exports = newExportLookup(fixtureState.fset)
+	}
+	fset, exports := fixtureState.fset, fixtureState.exports
+	fixtureState.mu.Unlock()
+
+	imp := &fixtureImporter{dir: dir, root: root, fset: fset, exports: exports, loaded: make(map[string]*Package)}
+	pkg, err := imp.load(path)
+	if err != nil {
+		return nil, err
+	}
+	return pkg, nil
+}
+
+// fixtureImporter resolves imports for one fixture load.
+type fixtureImporter struct {
+	dir     string // module directory `go list` runs in
+	root    string // fixture tree root (testdata/src)
+	fset    *token.FileSet
+	exports *exportLookup
+	loaded  map[string]*Package // fixture packages checked this load
+	stack   []string            // cycle detection
+}
+
+func (fi *fixtureImporter) load(path string) (*Package, error) {
+	if p, ok := fi.loaded[path]; ok {
+		return p, nil
+	}
+	for _, s := range fi.stack {
+		if s == path {
+			return nil, fmt.Errorf("fixture import cycle through %q", path)
+		}
+	}
+	dir := filepath.Join(fi.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("fixture package %s has no Go files", path)
+	}
+	fi.stack = append(fi.stack, path)
+	pkg, err := check(fi.fset, path, files, fi, "")
+	fi.stack = fi.stack[:len(fi.stack)-1]
+	if err != nil {
+		return nil, err
+	}
+	fi.loaded[path] = pkg
+	return pkg, nil
+}
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	// Fixture tree first: a stub under the runtime's import path shadows
+	// the real package for this load.
+	if st, err := os.Stat(filepath.Join(fi.root, filepath.FromSlash(path))); err == nil && st.IsDir() {
+		p, err := fi.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	// Real build: resolve export data on demand (once per path,
+	// process-wide) and import it.
+	if !fi.exports.has(path) {
+		listed, err := goList(fi.dir, []string{path})
+		if err != nil {
+			return nil, err
+		}
+		for _, lp := range listed {
+			fi.exports.add(lp.ImportPath, lp.Export)
+		}
+	}
+	return fi.exports.Import(path)
+}

@@ -1,0 +1,12 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/noalloc"
+)
+
+func TestNoAlloc(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), noalloc.Analyzer, "noallocfix")
+}

@@ -1,0 +1,84 @@
+// Fixture for the noalloc analyzer: every syntactic allocation class in
+// annotated functions, unannotated functions left alone, and the
+// //lint:ignore cold-path suppression contract.
+package noallocfix
+
+type point struct{ x, y float64 }
+
+type summer struct{ total float64 }
+
+func (s *summer) add(v float64) { s.total += v }
+
+func sink(v any) { _ = v }
+
+func sinkv(vs ...any) { _ = vs }
+
+//mttkrp:noalloc
+func badBuiltins(dst []float64, n int) []float64 {
+	buf := make([]float64, n) // want `make in //mttkrp:noalloc function allocates`
+	p := new(point)           // want `new in //mttkrp:noalloc function allocates`
+	_ = p
+	dst = append(dst, 1) // want `append in //mttkrp:noalloc function may grow`
+	_ = buf
+	return dst
+}
+
+//mttkrp:noalloc
+func badLiterals() {
+	xs := []float64{1, 2} // want `slice/map literal in //mttkrp:noalloc function allocates`
+	m := map[string]int{} // want `slice/map literal in //mttkrp:noalloc function allocates`
+	pt := &point{x: 1}    // want `&composite literal in //mttkrp:noalloc function allocates`
+	_, _, _ = xs, m, pt
+}
+
+//mttkrp:noalloc
+func badClosure(n int) {
+	f := func() int { return n } // want `closure literal in //mttkrp:noalloc function allocates`
+	_ = f()
+	go f() // want `go statement in //mttkrp:noalloc function allocates a goroutine`
+}
+
+//mttkrp:noalloc
+func badStrings(a, b string, bs []byte) (string, []byte) {
+	c := a + b      // want `string concatenation in //mttkrp:noalloc function allocates`
+	d := []byte(a)  // want `string conversion in //mttkrp:noalloc function allocates`
+	e := string(bs) // want `string conversion in //mttkrp:noalloc function allocates`
+	_ = c
+	return e, d
+}
+
+//mttkrp:noalloc
+func badBoxing(s *summer) {
+	var v any
+	v = 42 // want `assignment boxes a concrete value into an interface`
+	_ = v
+	sink(7)    // want `argument boxes into interface parameter of sink`
+	g := s.add // want `method value s.add in //mttkrp:noalloc function allocates a bound closure`
+	g(1)
+}
+
+//mttkrp:noalloc
+func badVariadic(x int) {
+	sinkv(x) // want `argument boxes into interface parameter of sinkv` `variadic call of sinkv in //mttkrp:noalloc function allocates the argument slice`
+}
+
+func unannotated(n int) []float64 {
+	return make([]float64, n) // clean: not annotated
+}
+
+//mttkrp:noalloc
+func warmup(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		//lint:ignore mttkrp/noalloc cold path: first-touch growth is the warmup contract
+		buf = make([]float64, n)
+	}
+	return buf[:n]
+}
+
+//mttkrp:noalloc
+func steady(s *summer, dst, src []float64) {
+	for i, v := range src {
+		dst[i] = v * 2
+	}
+	s.add(dst[0])
+}

@@ -1,0 +1,179 @@
+// Package phasehook enforces the phase-boundary hook contract of PR 4's
+// mid-request rebalancing: budget changes (Lease.Resize) land only at
+// safe points, so the safe points must actually exist. Two rules:
+//
+//  1. In the kernel package (path suffix internal/core), every exported
+//     entry point whose name contains "Into" and that takes an Options
+//     parameter must invoke Options.PhaseNotify — directly or through
+//     another function of the same package. A kernel entered without a
+//     phase notification never gives the scheduler a reconcile point, so
+//     an admitted request runs its whole computation on a stale budget.
+//
+//  2. A loop that calls core.SweepAll (an ALS sweep loop) must also call
+//     a reconcile safe-point inside the loop body: parallel.Reconcile,
+//     or a Reconcile method of the parallel runtime. Sweeps are the
+//     natural rebalancing boundary (cpd.ALS/NNALS pin this); a sweep
+//     loop without one starves mid-request rebalancing for the whole
+//     decomposition.
+package phasehook
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer enforces PhaseNotify / Reconcile safe-points.
+var Analyzer = &analysis.Analyzer{
+	Name: "phasehook",
+	Doc:  "flag *Into kernel entry points that never invoke Options.PhaseNotify, and SweepAll loops without a Reconcile safe-point",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if analysis.PkgPathHasSuffix(pass.Pkg.Path(), "internal/core") {
+		checkEntryPoints(pass)
+	}
+	checkSweepLoops(pass)
+	return nil
+}
+
+// checkEntryPoints implements rule 1 with a transitive "notifies"
+// closure over the package's static call graph.
+func checkEntryPoints(pass *analysis.Pass) {
+	info := pass.TypesInfo
+
+	type funcNode struct {
+		decl     *ast.FuncDecl
+		notifies bool
+		callees  []*types.Func
+	}
+	nodes := make(map[*types.Func]*funcNode)
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			node := &funcNode{decl: fd}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch e := n.(type) {
+				case *ast.SelectorExpr:
+					// Any touch of a PhaseNotify field (nil-check or
+					// call) marks the function as notifying.
+					if e.Sel.Name == "PhaseNotify" {
+						if sel, ok := info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+							node.notifies = true
+						}
+					}
+				case *ast.CallExpr:
+					if callee := analysis.CalleeFunc(info, e); callee != nil && callee.Pkg() == pass.Pkg {
+						node.callees = append(node.callees, callee)
+					}
+				}
+				return true
+			})
+			nodes[obj] = node
+		}
+	}
+
+	// Fixpoint: a function notifies if any same-package callee does.
+	for changed := true; changed; {
+		changed = false
+		for _, node := range nodes {
+			if node.notifies {
+				continue
+			}
+			for _, callee := range node.callees {
+				if cn, ok := nodes[callee]; ok && cn.notifies {
+					node.notifies = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	for obj, node := range nodes {
+		name := obj.Name()
+		if !obj.Exported() || !strings.Contains(name, "Into") || node.notifies {
+			continue
+		}
+		if !hasOptionsParam(obj) {
+			continue
+		}
+		pass.Reportf(node.decl.Name.Pos(), "exported kernel entry point %s never invokes Options.PhaseNotify (directly or via the package call graph); requests entering here give the scheduler no reconcile safe-point", name)
+	}
+}
+
+// hasOptionsParam reports whether f takes a parameter whose type is named
+// Options (the kernel options struct of its own package).
+func hasOptionsParam(f *types.Func) bool {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if n := analysis.NamedOf(sig.Params().At(i).Type()); n != nil && n.Obj().Name() == "Options" {
+			return true
+		}
+	}
+	return false
+}
+
+// checkSweepLoops implements rule 2.
+func checkSweepLoops(pass *analysis.Pass) {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch loop := n.(type) {
+			case *ast.ForStmt:
+				body = loop.Body
+			case *ast.RangeStmt:
+				body = loop.Body
+			default:
+				return true
+			}
+			var sweep *ast.CallExpr
+			reconciles := false
+			ast.Inspect(body, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if callee := analysis.CalleeFunc(info, call); callee != nil {
+					if callee.Name() == "SweepAll" && callee.Pkg() != nil && analysis.PkgPathHasSuffix(callee.Pkg().Path(), "internal/core") {
+						if sweep == nil {
+							sweep = call
+						}
+					}
+					if isReconcile(callee) {
+						reconciles = true
+					}
+				}
+				return true
+			})
+			if sweep != nil && !reconciles {
+				pass.Reportf(sweep.Pos(), "sweep loop calls core.SweepAll but never parallel.Reconcile; mid-request budget changes cannot land at sweep boundaries")
+			}
+			return true
+		})
+	}
+}
+
+// isReconcile reports whether f is a reconcile safe-point: the
+// parallel.Reconcile helper or a Reconcile method of the runtime.
+func isReconcile(f *types.Func) bool {
+	if f.Name() != "Reconcile" || f.Pkg() == nil {
+		return false
+	}
+	return analysis.PkgPathHasSuffix(f.Pkg().Path(), "internal/parallel")
+}

@@ -1,0 +1,12 @@
+package phasehook_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/phasehook"
+)
+
+func TestPhaseHook(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), phasehook.Analyzer, "phasefix/internal/core")
+}

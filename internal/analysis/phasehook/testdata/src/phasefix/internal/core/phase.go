@@ -1,0 +1,77 @@
+// Fixture for the phasehook analyzer. The package path ends in
+// internal/core, so rule 1 (exported *Into entry points must reach
+// Options.PhaseNotify) applies; rule 2 (SweepAll loops need a Reconcile)
+// applies everywhere.
+package core
+
+import "repro/internal/parallel"
+
+type Options struct {
+	PhaseNotify func(phase string)
+}
+
+func notify(opts Options, phase string) {
+	if opts.PhaseNotify != nil {
+		opts.PhaseNotify(phase)
+	}
+}
+
+func OneStepInto(dst []float64, opts Options) { // want `OneStepInto never invokes Options.PhaseNotify`
+	for i := range dst {
+		dst[i] = 0
+	}
+}
+
+func TwoStepInto(dst []float64, opts Options) { // clean: notifies through a helper
+	notify(opts, "two-step")
+	for i := range dst {
+		dst[i] = 0
+	}
+}
+
+func ComputeInto(dst []float64, opts Options) { // clean: notifies directly
+	if opts.PhaseNotify != nil {
+		opts.PhaseNotify("compute")
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+}
+
+func CopyInto(dst, src []float64) { // clean: no Options parameter
+	copy(dst, src)
+}
+
+func Compute(dst []float64, opts Options) { // clean: not an *Into entry point
+	for i := range dst {
+		dst[i] = 0
+	}
+}
+
+func reorderInto(dst []float64, opts Options) { // clean: unexported
+	for i := range dst {
+		dst[i] = 0
+	}
+}
+
+func SweepAll(opts Options) {}
+
+func badSweepLoop(opts Options) {
+	for i := 0; i < 5; i++ {
+		SweepAll(opts) // want `sweep loop calls core.SweepAll but never parallel.Reconcile`
+	}
+}
+
+func goodSweepLoop(p *parallel.Pool, opts Options) {
+	for i := 0; i < 5; i++ {
+		SweepAll(opts)
+		parallel.Reconcile(p)
+	}
+}
+
+func goodLeaseSweepLoop(l *parallel.Lease, opts Options) {
+	for i := 0; i < 5; i++ {
+		SweepAll(opts)
+		l.Reconcile()
+	}
+}

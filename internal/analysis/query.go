@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ParallelPkg is the import path of the execution runtime whose invariants
+// the suite enforces. Fixtures under analysistest use stub packages with
+// the same path, so analyzers must match by path + name, never by object
+// identity.
+const ParallelPkg = "repro/internal/parallel"
+
+// CorePkg is the import path of the MTTKRP kernel package.
+const CorePkg = "repro/internal/core"
+
+// NamedOf unwraps pointers and returns the named type of t, or nil.
+func NamedOf(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// IsNamedType reports whether t (possibly behind a pointer) is the named
+// type pkgPath.name.
+func IsNamedType(t types.Type, pkgPath, name string) bool {
+	n := NamedOf(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// IsPkgType reports whether t (possibly behind a pointer) is any named
+// type declared in pkgPath.
+func IsPkgType(t types.Type, pkgPath string) bool {
+	n := NamedOf(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// CalleeFunc resolves the *types.Func a call expression invokes (package
+// function or method), or nil for builtins, conversions and calls of
+// function-typed values.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			f, _ := sel.Obj().(*types.Func)
+			return f
+		}
+		// Package-qualified call: pkg.Func.
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// IsPkgFunc reports whether call invokes the package-level function
+// pkgPath.name.
+func IsPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	f := CalleeFunc(info, call)
+	if f == nil || f.Name() != name || f.Pkg() == nil || f.Pkg().Path() != pkgPath {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// MethodOn reports whether call invokes a method with the given name whose
+// receiver type (possibly behind a pointer) is declared in pkgPath.
+// Interface methods count when the interface itself is declared in pkgPath
+// (e.g. parallel.Executor).
+func MethodOn(info *types.Info, call *ast.CallExpr, pkgPath string, names ...string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	selection, ok := info.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal {
+		return false
+	}
+	f, ok := selection.Obj().(*types.Func)
+	if !ok {
+		return false
+	}
+	match := false
+	for _, n := range names {
+		if f.Name() == n {
+			match = true
+			break
+		}
+	}
+	if !match {
+		return false
+	}
+	// The method's receiver names the declaring type; for interface
+	// methods it is the interface type.
+	if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if IsPkgType(sig.Recv().Type(), pkgPath) {
+			return true
+		}
+		// Interface method: the receiver type is the interface; its
+		// declaring package is on the *types.Func itself.
+		if _, ok := sig.Recv().Type().Underlying().(*types.Interface); ok {
+			return f.Pkg() != nil && f.Pkg().Path() == pkgPath
+		}
+	}
+	// Fall back to the static type of the receiver expression, which
+	// covers embedded fields whose methods are promoted.
+	return IsPkgType(info.TypeOf(sel.X), pkgPath)
+}
+
+// PkgPathHasSuffix reports whether path equals suffix or ends in
+// "/"+suffix. Fixture packages load under synthetic paths, so analyzers
+// that gate on "which package am I looking at" match by suffix.
+func PkgPathHasSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}

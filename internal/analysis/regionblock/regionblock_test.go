@@ -1,0 +1,12 @@
+package regionblock_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/regionblock"
+)
+
+func TestRegionBlock(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), regionblock.Analyzer, "regionfix")
+}

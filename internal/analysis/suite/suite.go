@@ -1,0 +1,23 @@
+// Package suite enumerates the analyzers shipped by cmd/mttkrp-lint.
+// DESIGN.md §11 maps each one to the design invariant it machine-checks.
+package suite
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/analysis/arenaescape"
+	"repro/internal/analysis/effectiveresolve"
+	"repro/internal/analysis/noalloc"
+	"repro/internal/analysis/phasehook"
+	"repro/internal/analysis/regionblock"
+)
+
+// All returns the full analyzer suite, in report order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		arenaescape.Analyzer,
+		effectiveresolve.Analyzer,
+		noalloc.Analyzer,
+		phasehook.Analyzer,
+		regionblock.Analyzer,
+	}
+}

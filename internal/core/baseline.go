@@ -28,6 +28,7 @@ func Reorder(x *tensor.Dense, u []mat.View, n int, opts Options) mat.View {
 // memory forever.
 func ReorderInto(dst mat.View, x *tensor.Dense, u []mat.View, n int, opts Options) mat.View {
 	validate(x, u, n)
+	opts.notifyPhase() // kernel entry is a phase boundary: budget changes land here
 	c := rank(u)
 	validateDst(dst, x.Dim(n), c)
 	p := opts.pool()

@@ -97,6 +97,7 @@ func newOneStepExtFrame() any {
 	return f
 }
 
+//mttkrp:noalloc
 func (f *oneStepExtFrame) runWorker(w int) {
 	lo0, hi0 := parallel.BlockRange(f.other, f.t, w)
 	if lo0 >= hi0 {
@@ -150,6 +151,7 @@ func (f *oneStepExtFrame) release() {
 }
 
 func oneStepExternal(dst mat.View, x *tensor.Dense, u []mat.View, n int, opts Options) mat.View {
+	opts.notifyPhase() // kernel entry is a phase boundary: budget changes land here
 	c := rank(u)
 	in := x.Dim(n)
 	other := x.SizeOther(n)
@@ -241,6 +243,7 @@ func newOneStepIntFrame() any {
 	return f
 }
 
+//mttkrp:noalloc
 func (f *oneStepIntFrame) runWorker(w, lo, hi int) {
 	ar := f.ws.Arena(w)
 	var dKRP, dGEMM time.Duration
@@ -284,6 +287,7 @@ func (f *oneStepIntFrame) release() {
 }
 
 func oneStepInternal(dst mat.View, x *tensor.Dense, u []mat.View, n int, opts Options) mat.View {
+	opts.notifyPhase() // kernel entry is a phase boundary: budget changes land here
 	c := rank(u)
 	in := x.Dim(n)
 	il := x.SizeLeft(n)

@@ -133,6 +133,7 @@ func (f *twoStepFrame) release() {
 // twoStepRightFirst computes R_(0:n) = X_(0:n)·K_R, then
 // M(:, j) = R_(n)[j]·K_L(:, j) for each column j (Figures 3a and 3b).
 func twoStepRightFirst(dst mat.View, x *tensor.Dense, u []mat.View, n int, opts Options) mat.View {
+	opts.notifyPhase() // kernel entry is a phase boundary: budget changes land here
 	c := rank(u)
 	in := x.Dim(n)
 	il := x.SizeLeft(n)
@@ -176,6 +177,7 @@ func twoStepRightFirst(dst mat.View, x *tensor.Dense, u []mat.View, n int, opts 
 // twoStepLeftFirst computes L_(0:N-n-1) = X_(0:n-1)ᵀ·K_L, then
 // M(:, j) = L_(0)[j]·K_R(:, j) for each column j (Figures 3c and 3d).
 func twoStepLeftFirst(dst mat.View, x *tensor.Dense, u []mat.View, n int, opts Options) mat.View {
+	opts.notifyPhase() // kernel entry is a phase boundary: budget changes land here
 	c := rank(u)
 	in := x.Dim(n)
 	il := x.SizeLeft(n)

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/cpd"
 	"repro/internal/mat"
+	"repro/internal/parallel"
 	"repro/internal/tensor"
 )
 
@@ -85,6 +86,14 @@ type Dataset struct {
 // exactly rank-Components and symmetric in (i, j); Gaussian noise
 // (symmetrized) is added on top.
 func Generate(p Params) *Dataset {
+	return GenerateOn(parallel.Default(), p)
+}
+
+// GenerateOn is Generate on an explicit executor (pool or lease): the dense
+// symmetric evaluation — the dominant cost at paper scale — is parallelized
+// over region pairs on ex, while every random draw stays on the calling
+// goroutine so the dataset is bit-identical at any width.
+func GenerateOn(ex parallel.Executor, p Params) *Dataset {
 	if p.Times <= 0 || p.Subjects <= 0 || p.Regions <= 0 || p.Components <= 0 {
 		panic(fmt.Sprintf("fmri: non-positive dimension in %+v", p))
 	}
@@ -100,7 +109,7 @@ func Generate(p Params) *Dataset {
 	truth := cpd.NewKTensor(lambda, []mat.View{tf, sf, rf, rf})
 
 	x := tensor.New(p.Times, p.Subjects, p.Regions, p.Regions)
-	evaluateSymmetric(x, lambda, tf, sf, rf)
+	evaluateSymmetric(ex, x, lambda, tf, sf, rf)
 	if p.Noise > 0 {
 		addSymmetricNoise(rng, x, p.Noise)
 	}
@@ -108,16 +117,31 @@ func Generate(p Params) *Dataset {
 }
 
 // evaluateSymmetric fills x(t,s,i,j) = Σ_c λ_c T(t,c)S(s,c)R(i,c)R(j,c),
-// evaluating only j ≥ i and mirroring.
-func evaluateSymmetric(x *tensor.Dense, lambda []float64, tf, sf, rf mat.View) {
+// evaluating only j ≥ i and mirroring. The outer region-pair loop is
+// parallelized on ex: every (i, j) pair owns two disjoint tDim·sDim blocks
+// of the tensor, so workers never write the same element and the result is
+// independent of the dispatch width.
+func evaluateSymmetric(ex parallel.Executor, x *tensor.Dense, lambda []float64, tf, sf, rf mat.View) {
 	tDim, sDim, rDim := tf.R, sf.R, rf.R
 	nc := len(lambda)
-	ts := make([]float64, nc) // λ_c·T(t,c)·S(s,c) for the current (t,s)
 	data := x.Data()
-	// Natural layout strides: t fastest, then s, then i, then j.
-	for j := 0; j < rDim; j++ {
-		for i := 0; i <= j; i++ {
-			// w_c = R(i,c)·R(j,c)
+	npairs := rDim * (rDim + 1) / 2 // i <= j, diagonal included
+	w := parallel.Clamp(ex.Effective(0), npairs)
+	// Pair cost is uniform, so the static block schedule balances; each
+	// chunk re-derives (i, j) from the flat upper-triangular index.
+	ex.For(w, npairs, func(_, lo, hi int) {
+		ts := make([]float64, nc) // λ_c·S(s,c) for the current s
+		for pi := lo; pi < hi; pi++ {
+			// Invert pi = j(j+1)/2 + i with 0 <= i <= j.
+			j := int((math.Sqrt(8*float64(pi)+1) - 1) / 2)
+			for j*(j+1)/2 > pi {
+				j--
+			}
+			for (j+1)*(j+2)/2 <= pi {
+				j++
+			}
+			i := pi - j*(j+1)/2
+			// Natural layout strides: t fastest, then s, then i, then j.
 			base := (j*rDim + i) * tDim * sDim
 			baseT := (i*rDim + j) * tDim * sDim
 			for s := 0; s < sDim; s++ {
@@ -137,7 +161,7 @@ func evaluateSymmetric(x *tensor.Dense, lambda []float64, tf, sf, rf mat.View) {
 				}
 			}
 		}
-	}
+	})
 }
 
 // addSymmetricNoise perturbs x with N(0, σ·rms) noise, mirrored across the

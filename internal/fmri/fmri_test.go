@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/cpd"
+	"repro/internal/parallel"
 	"repro/internal/tensor"
 )
 
@@ -209,3 +210,39 @@ func TestALSRecoversPlantedNetworks(t *testing.T) {
 		t.Errorf("4-way fit = %v after %d iters", res4.Fit, res4.Iters)
 	}
 }
+
+// TestGenerateOnMatchesSequential pins the determinism contract of the
+// executor-threaded generator: the dataset is bit-identical at any dispatch
+// width, because every random draw happens on the calling goroutine and
+// region-pair workers write disjoint tensor blocks.
+func TestGenerateOnMatchesSequential(t *testing.T) {
+	p := smallParams()
+	p.Noise = 0.05
+	want := GenerateOn(seqExec{}, p)
+	pool := parallel.NewPool(4)
+	defer pool.Close()
+	got := GenerateOn(pool, p)
+	wd, gd := want.Tensor4.Data(), got.Tensor4.Data()
+	for i := range wd {
+		if wd[i] != gd[i] {
+			t.Fatalf("entry %d differs: %v vs %v", i, wd[i], gd[i])
+		}
+	}
+}
+
+// seqExec is a width-1 executor that runs everything inline.
+type seqExec struct{}
+
+func (seqExec) Effective(int) int { return 1 }
+func (seqExec) Workers() int      { return 1 }
+func (seqExec) Run(t int, body func(int)) {
+	for w := 0; w < t; w++ {
+		body(w)
+	}
+}
+func (seqExec) For(t, n int, body func(w, lo, hi int)) { body(0, 0, n) }
+func (seqExec) ForDynamic(t, n, chunk int, body func(w, lo, hi int)) {
+	body(0, 0, n)
+}
+func (seqExec) ReduceSum(t int, parts [][]float64) []float64 { return parts[0] }
+func (seqExec) Acquire() *parallel.Workspace                 { panic("seqExec: no workspace") }

@@ -171,6 +171,8 @@ func NaiveParallel(t int, mats []mat.View, out mat.View) {
 
 // Row computes a single KRP row, the Hadamard product of mats[z] row l[z],
 // into out.
+//
+//mttkrp:noalloc
 func Row(mats []mat.View, l []int, out []float64) {
 	copy(out, mats[0].ContiguousRow(l[0]))
 	for z := 1; z < len(mats); z++ {
@@ -185,6 +187,8 @@ func RowAt(mats []mat.View, j int, out []float64) {
 
 // RowAtInto is RowAt with a caller-owned multi-index buffer l (length ≥
 // len(mats)), so hot block loops can compute KRP rows without allocating.
+//
+//mttkrp:noalloc
 func RowAtInto(mats []mat.View, j int, out []float64, l []int) {
 	Row(mats, decompose(mats, j, l[:len(mats)]), out)
 }
@@ -193,6 +197,8 @@ func RowAtInto(mats []mat.View, j int, out []float64, l []int) {
 // 1-row matrix with kl: out(l, :) = row ∗ kl(l, :). The 1-step algorithm
 // uses it to form the KRP row block matching one tensor block from a right
 // KRP row and the left KRP (Algorithm 3, line 15).
+//
+//mttkrp:noalloc
 func HadamardExpand(row []float64, kl mat.View, out mat.View) {
 	if kl.R != out.R || kl.C != out.C || len(row) != kl.C {
 		panic("krp: hadamard expand dimension mismatch")
@@ -204,6 +210,8 @@ func HadamardExpand(row []float64, kl mat.View, out mat.View) {
 
 // decompose writes the multi-index of flat row j into l (last index
 // fastest) and returns l.
+//
+//mttkrp:noalloc
 func decompose(mats []mat.View, j int, l []int) []int {
 	for z := len(mats) - 1; z >= 0; z-- {
 		l[z] = j % mats[z].R
@@ -215,6 +223,8 @@ func decompose(mats []mat.View, j int, l []int) []int {
 // incrementMultiIndex advances l by one row (last index fastest) and
 // returns the smallest z whose coordinate changed (len(mats)-1 for the
 // common case; 0 means the slowest coordinate rolled).
+//
+//mttkrp:noalloc
 func incrementMultiIndex(mats []mat.View, l []int) int {
 	for z := len(mats) - 1; z >= 0; z-- {
 		l[z]++
@@ -244,17 +254,21 @@ type Iter struct {
 
 // Reset positions the iterator at startRow of the KRP of mats, reusing any
 // scratch storage from previous use.
+//
+//mttkrp:noalloc
 func (it *Iter) Reset(mats []mat.View, startRow int) {
 	z := len(mats)
 	it.mats = mats
 	it.cols = mats[0].C
 	if cap(it.l) < z {
+		//lint:ignore mttkrp/noalloc cold-path growth; a reused iterator keeps its buffer
 		it.l = make([]int, z)
 	}
 	it.l = decompose(mats, startRow, it.l[:z])
 	it.p = mat.View{}
 	if z >= 3 {
 		if need := (z - 2) * it.cols; cap(it.pbuf) < need {
+			//lint:ignore mttkrp/noalloc cold-path growth; a reused iterator keeps its buffer
 			it.pbuf = make([]float64, need)
 		}
 		it.p = mat.FromRowMajor(it.pbuf[:(z-2)*it.cols], z-2, it.cols)
@@ -264,6 +278,8 @@ func (it *Iter) Reset(mats []mat.View, startRow int) {
 
 // rebuildFrom recomputes partial products P[w] for w ≥ max(z-1, 0), where
 // z is the smallest operand index whose row changed.
+//
+//mttkrp:noalloc
 func (it *Iter) rebuildFrom(z int) {
 	w := z - 1
 	if w < 0 {
@@ -280,6 +296,8 @@ func (it *Iter) rebuildFrom(z int) {
 }
 
 // Next writes the current row into out and advances the iterator.
+//
+//mttkrp:noalloc
 func (it *Iter) Next(out []float64) {
 	z := len(it.mats)
 	last := it.mats[z-1].ContiguousRow(it.l[z-1])

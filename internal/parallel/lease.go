@@ -236,6 +236,8 @@ func (l *Lease) Acquire() *Workspace { return l.parent.AcquireKeyed(l.wsKey) }
 // way the panic surfaces on the dispatching goroutine with the lease
 // consistent, where the serving layer recovers it into the request's
 // ticket.
+//
+//mttkrp:noalloc
 func (l *Lease) dispatch(j job) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -273,6 +275,8 @@ func (l *Lease) dispatch(j job) {
 // Run launches t copies of body (t <= 0 selects the granted width) and
 // waits. All t logical workers execute even if the lease currently holds
 // fewer goroutines.
+//
+//mttkrp:noalloc
 func (l *Lease) Run(t int, body func(worker int)) {
 	if t <= 0 {
 		t = l.Effective(0)
@@ -286,6 +290,8 @@ func (l *Lease) Run(t int, body func(worker int)) {
 
 // For executes body over [0, n) with t workers under the static block
 // schedule (t <= 0 selects the granted width).
+//
+//mttkrp:noalloc
 func (l *Lease) For(t, n int, body func(worker, lo, hi int)) {
 	if t <= 0 {
 		t = l.Effective(0)
@@ -303,6 +309,8 @@ func (l *Lease) For(t, n int, body func(worker, lo, hi int)) {
 
 // ForDynamic executes body over [0, n) with t workers pulling chunks of
 // the given size from the lease's shared counter.
+//
+//mttkrp:noalloc
 func (l *Lease) ForDynamic(t, n, chunk int, body func(worker, lo, hi int)) {
 	if t <= 0 {
 		t = l.Effective(0)
@@ -323,6 +331,8 @@ func (l *Lease) ForDynamic(t, n, chunk int, body func(worker, lo, hi int)) {
 
 // ReduceSum accumulates parts[1:] into parts[0] in parallel on the lease
 // and returns parts[0]. Semantics match Pool.ReduceSum.
+//
+//mttkrp:noalloc
 func (l *Lease) ReduceSum(t int, parts [][]float64) []float64 {
 	dst, seq := checkReduceParts(parts)
 	if dst == nil {

@@ -75,6 +75,8 @@ type job struct {
 }
 
 // run executes every logical worker owned by this job copy.
+//
+//mttkrp:noalloc
 func (j *job) run() {
 	if j.kind == jobForDynamic {
 		// Dynamic regions self-balance through the shared chunk counter;
@@ -89,6 +91,8 @@ func (j *job) run() {
 }
 
 // exec executes logical worker w of the region.
+//
+//mttkrp:noalloc
 func (j *job) exec(w int) {
 	switch j.kind {
 	case jobRun:
@@ -110,6 +114,8 @@ func (j *job) exec(w int) {
 }
 
 // runDynamic pulls chunks from the shared counter until the range drains.
+//
+//mttkrp:noalloc
 func (j *job) runDynamic(w int) {
 	for {
 		hi := int(j.next.Add(int64(j.chunk)))
@@ -128,6 +134,8 @@ func (j *job) runDynamic(w int) {
 // static block schedule that Split uses: t contiguous ranges over [0, n)
 // whose sizes differ by at most one. It is the allocation-free form of
 // Split(n, t)[w].
+//
+//mttkrp:noalloc
 func BlockRange(n, t, w int) (lo, hi int) {
 	base := n / t
 	rem := n % t
@@ -312,6 +320,8 @@ func runWorkerJob(j *job) {
 // with outstanding leases is memory-safe but contends with the lease
 // holders for those workers; a serving scheduler that leases a pool out
 // should own it exclusively.
+//
+//mttkrp:noalloc
 func (p *Pool) dispatch(j job) {
 	if p.spawn {
 		// Kept out of line so that j only escapes to the heap on the
@@ -393,6 +403,8 @@ func (p *Pool) Close() {
 // Run launches t copies of body, one per worker, and waits — the "parallel
 // region" primitive, identical in semantics to the package-level Run but
 // executed on the pool's persistent workers.
+//
+//mttkrp:noalloc
 func (p *Pool) Run(t int, body func(worker int)) {
 	t = Effective(t)
 	if t == 1 {
@@ -405,6 +417,8 @@ func (p *Pool) Run(t int, body func(worker int)) {
 // For executes body over [0, n) with t workers, each owning one contiguous
 // block (the static schedule of Split). With t == 1 the body runs inline on
 // the calling goroutine.
+//
+//mttkrp:noalloc
 func (p *Pool) For(t, n int, body func(worker, lo, hi int)) {
 	t = Clamp(t, n)
 	if n <= 0 {
@@ -444,6 +458,8 @@ func (p *Pool) ForDynamic(t, n, chunk int, body func(worker, lo, hi int)) {
 // ReduceSum accumulates parts[1:] into parts[0] in parallel and returns
 // parts[0]. All buffers must have equal length; a mismatch panics up front
 // rather than corrupting data mid-reduction.
+//
+//mttkrp:noalloc
 func (p *Pool) ReduceSum(t int, parts [][]float64) []float64 {
 	dst, seq := checkReduceParts(parts)
 	if dst == nil {
@@ -474,6 +490,8 @@ func checkReduceParts(parts [][]float64) (dst []float64, seq bool) {
 }
 
 // reduceSeq performs the reduction sequentially on the calling goroutine.
+//
+//mttkrp:noalloc
 func reduceSeq(parts [][]float64) []float64 {
 	dst := parts[0]
 	for _, q := range parts[1:] {

@@ -1,0 +1,58 @@
+package parallel
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRegionBodyBlockingSendDeadlocksLease constructs, by hand, the
+// deadlock the regionblock analyzer exists to prevent: a region body that
+// performs a blocking channel send with no receiver. The dispatch barrier
+// never completes, so the dispatching goroutine — and with it the lease's
+// region mutex — hangs until something external drains the channel. The
+// test asserts the hang is real (no completion within a deadline), then
+// drains the channel and asserts the region finishes cleanly, proving the
+// blockage was precisely the body's send.
+//
+// The region body below is the one shape of code `mttkrp-lint` refuses to
+// accept in this repository; it lives in a test (which the analyzers skip)
+// for exactly that reason.
+func TestRegionBodyBlockingSendDeadlocksLease(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	l := p.Lease(2)
+
+	const width = 2
+	ch := make(chan int) // unbuffered, and nobody is receiving
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		l.Run(width, func(w int) {
+			ch <- w // blocks: the barrier can never complete
+		})
+	}()
+
+	select {
+	case <-done:
+		t.Fatal("region with a blocking send completed; expected it to deadlock")
+	case <-time.After(100 * time.Millisecond):
+		// Deadlocked, as the analyzer predicts. While the region hangs it
+		// also holds the lease's region mutex, so a concurrent Reconcile
+		// (the scheduler's phase-boundary hook) would queue behind it —
+		// this is why the invariant is machine-checked rather than left to
+		// review.
+	}
+
+	// An external rescuer drains the channel; the barrier completes and
+	// the dispatch returns. This is the part a deadlocked server does not
+	// have.
+	for i := 0; i < width; i++ {
+		<-ch
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("region did not complete after draining the channel")
+	}
+	l.Close()
+}

@@ -127,12 +127,16 @@ type Arena struct {
 
 // Float64 returns a length-n float64 scratch slice for tag, reusing (and if
 // needed growing) the slice previously returned for the same tag.
+//
+//mttkrp:noalloc
 func (a *Arena) Float64(tag string, n int) []float64 {
 	if a.f64 == nil {
+		//lint:ignore mttkrp/noalloc one-time map init; amortized away after first use
 		a.f64 = make(map[string][]float64)
 	}
 	s := a.f64[tag]
 	if cap(s) < n {
+		//lint:ignore mttkrp/noalloc cold-path growth; steady state reuses the grown slice
 		s = make([]float64, n)
 		a.f64[tag] = s
 	}
@@ -141,12 +145,16 @@ func (a *Arena) Float64(tag string, n int) []float64 {
 
 // Ints returns a length-n int scratch slice for tag, with the same reuse
 // contract as Float64.
+//
+//mttkrp:noalloc
 func (a *Arena) Ints(tag string, n int) []int {
 	if a.ints == nil {
+		//lint:ignore mttkrp/noalloc one-time map init; amortized away after first use
 		a.ints = make(map[string][]int)
 	}
 	s := a.ints[tag]
 	if cap(s) < n {
+		//lint:ignore mttkrp/noalloc cold-path growth; steady state reuses the grown slice
 		s = make([]int, n)
 		a.ints[tag] = s
 	}

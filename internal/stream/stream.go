@@ -34,10 +34,20 @@ func (s *Bench) Len() int { return len(s.a) }
 // Bytes returns the memory traffic per run (one read + one write).
 func (s *Bench) Bytes() int64 { return int64(len(s.a)) * 16 }
 
-// Run performs b = α·a with t workers and returns the elapsed wall time.
+// Run performs b = α·a with t workers on the default pool and returns the
+// elapsed wall time.
 func (s *Bench) Run(t int) time.Duration {
+	return s.RunOn(parallel.Default(), t)
+}
+
+// RunOn is Run on an explicit executor (pool or lease), so the roofline
+// sweep can share a worker team with the kernels it calibrates — and, under
+// a lease, respect a serving budget. The requested width resolves through
+// the executor (t <= 0 selects its natural width).
+func (s *Bench) RunOn(p parallel.Executor, t int) time.Duration {
+	t = parallel.Clamp(p.Effective(t), len(s.a))
 	start := time.Now()
-	parallel.For(t, len(s.a), func(_, lo, hi int) {
+	p.For(t, len(s.a), func(_, lo, hi int) {
 		a, b := s.a[lo:hi], s.b[lo:hi]
 		for i := range a {
 			b[i] = s.alpha * a[i]

@@ -1,6 +1,10 @@
 package stream
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/parallel"
+)
 
 func TestRunAndVerify(t *testing.T) {
 	for _, threads := range []int{1, 2, 4} {
@@ -38,5 +42,19 @@ func TestBytesAndBandwidth(t *testing.T) {
 	d := s.Run(2)
 	if bw := s.BandwidthGBps(d); bw <= 0 {
 		t.Errorf("bandwidth %v", bw)
+	}
+}
+
+// TestRunOnExplicitPool pins the executor-threaded entry point: RunOn on a
+// caller-owned pool produces the same values as Run on the default pool.
+func TestRunOnExplicitPool(t *testing.T) {
+	p := parallel.NewPool(3)
+	defer p.Close()
+	s := New(10000)
+	if d := s.RunOn(p, 0); d <= 0 {
+		t.Errorf("non-positive duration %v", d)
+	}
+	if err := s.Verify(); err != nil {
+		t.Error(err)
 	}
 }
