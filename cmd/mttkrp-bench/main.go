@@ -11,6 +11,8 @@
 //	mttkrp-bench -serve -conc 4 -requests 256 -sdims 60x50x40 -rank 16
 //	mttkrp-bench -serve -mix small:8,large:1   # heterogeneous mix: cost-aware vs even-split, per-class p99
 //	mttkrp-bench -serve -fuse=off              # A/B half: batch-level KRP fusion disabled
+//	mttkrp-bench -serve -simd=off              # A/B half: scalar reference kernels
+//	mttkrp-bench -kernels                      # per-kernel GFLOP/s table, scalar vs vectorized
 //	mttkrp-bench -serve-http               # HTTP load against an in-process listener
 //	mttkrp-bench -serve-http -addr http://host:8080 -requests 256
 //	mttkrp-bench -serve-http -mix small:8,large:1  # mixed payloads over the wire
@@ -40,6 +42,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/cli"
 	"repro/internal/parallel"
+	"repro/internal/simd"
 )
 
 func main() {
@@ -71,6 +74,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	rank := fs.Int("rank", 16, "serving: CP rank / factor columns")
 	mixSpec := fs.String("mix", "", "serving: heterogeneous workload mix, e.g. small:8,large:1 (classes small, medium, large scaled from -sdims/-rank; -serve compares cost-aware vs even-split admission per class with p99)")
 	fuse := fs.String("fuse", "on", "serving: batch-level KRP fusion on the served side, on or off (run both for the A/B; tables carry a fuse-hit column)")
+	simdAB := fs.String("simd", "on", "vectorized kernels, on or off (off forces the scalar reference; applies to -serve, -serve-http and -kernels)")
+	kernelsMode := fs.Bool("kernels", false, "print the per-kernel GFLOP/s table (scalar vs vectorized) instead of figure regeneration")
+	kernelTime := fs.Duration("kernel-mintime", 20*time.Millisecond, "kernels: minimum measured time per cell (larger = steadier numbers)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return err
@@ -93,6 +99,43 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return cli.UsageError{Msg: "-fuse applies to the serving load generators; pass -serve or -serve-http"}
 	}
 	noFusion := *fuse == "off"
+	if *simdAB != "on" && *simdAB != "off" {
+		return cli.UsageError{Msg: fmt.Sprintf("-simd: unknown value %q (want on or off)", *simdAB)}
+	}
+	simdSet := false
+	fs.Visit(func(f *flag.Flag) { simdSet = simdSet || f.Name == "simd" })
+	if simdSet && !*serveMode && !*serveHTTP && !*kernelsMode {
+		return cli.UsageError{Msg: "-simd applies to the serving load generators and -kernels; pass -serve, -serve-http or -kernels"}
+	}
+	noSIMD := *simdAB == "off"
+	if *kernelsMode {
+		if *serveMode || *serveHTTP {
+			return cli.UsageError{Msg: "-kernels and the serving load generators are mutually exclusive"}
+		}
+		if noSIMD {
+			prev := simd.Active()
+			simd.Use(simd.Scalar())
+			defer simd.Use(prev)
+		}
+		fmt.Fprintf(stdout, "# MTTKRP kernel micro-benchmarks — GOMAXPROCS=%d\n\n", procs)
+		start := time.Now()
+		t, err := bench.Kernels(bench.KernelsConfig{
+			MinTime: *kernelTime,
+			Out:     func(format string, a ...any) { fmt.Fprintf(stdout, format, a...) },
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout)
+		t.Fprint(stdout)
+		if *csvDir != "" {
+			if err := writeCSVs(*csvDir, []*bench.Table{t}); err != nil {
+				return fmt.Errorf("csv: %w", err)
+			}
+		}
+		fmt.Fprintf(stdout, "# done in %v\n", time.Since(start).Round(time.Millisecond))
+		return nil
+	}
 	if *serveMode || *serveHTTP {
 		dims, err := cli.ParseDims(*sdims)
 		if err != nil {
@@ -114,6 +157,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 				Requests: *requests,
 				Mix:      *mixSpec,
 				NoFusion: noFusion,
+				NoSIMD:   noSIMD,
 				Out:      func(format string, a ...any) { fmt.Fprintf(stdout, format, a...) },
 			})
 			if err != nil {
@@ -139,6 +183,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			Requests: *requests,
 			Mix:      *mixSpec,
 			NoFusion: noFusion,
+			NoSIMD:   noSIMD,
 			Out:      func(format string, a ...any) { fmt.Fprintf(stdout, format, a...) },
 		})
 		if err != nil {

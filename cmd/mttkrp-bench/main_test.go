@@ -143,3 +143,48 @@ func TestRunServeModesExclusive(t *testing.T) {
 		t.Fatal("-serve with -serve-http accepted")
 	}
 }
+
+// TestRunKernelsTiny drives the per-kernel GFLOP/s table end to end: one
+// row per (kernel, size) with a scalar column, a vector column and the
+// speedup ratio the acceptance criteria gate on.
+func TestRunKernelsTiny(t *testing.T) {
+	var out, errOut bytes.Buffer
+	err := run([]string{"-kernels", "-kernel-mintime", "1ms"}, &out, &errOut)
+	if err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errOut.String())
+	}
+	s := out.String()
+	for _, want := range []string{
+		"Kernel micro-benchmarks", "scalar GFLOP/s", "gemm4x4", "hadexpand", "# done in",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunSimdFlagValidation(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-simd", "off"}, &out, &errOut); err == nil {
+		t.Fatal("-simd without a serving or kernels mode accepted")
+	}
+	if err := run([]string{"-serve", "-simd", "sometimes"}, &out, &errOut); err == nil {
+		t.Fatal("malformed -simd accepted")
+	}
+	if err := run([]string{"-kernels", "-serve"}, &out, &errOut); err == nil {
+		t.Fatal("-kernels with -serve accepted")
+	}
+}
+
+// TestRunServeSimdOff is the A/B's off half at smoke scale: the table
+// banner must record the scalar dispatch so runs are attributable.
+func TestRunServeSimdOff(t *testing.T) {
+	var out, errOut bytes.Buffer
+	err := run([]string{"-serve", "-simd=off", "-conc", "2", "-requests", "8", "-sdims", "10x8x6", "-rank", "4"}, &out, &errOut)
+	if err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errOut.String())
+	}
+	if !strings.Contains(out.String(), "simd off") {
+		t.Errorf("banner missing simd state:\n%s", out.String())
+	}
+}

@@ -49,6 +49,7 @@ import (
 
 	"repro"
 	"repro/internal/cli"
+	"repro/internal/simd"
 )
 
 func main() {
@@ -173,6 +174,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	maxActive := fs.Int("maxactive", 0, "max concurrently executing requests (0 = workers/minworkers)")
 	noBatch := fs.Bool("nobatch", false, "disable same-shape request batching")
 	noFuse := fs.Bool("nofuse", false, "disable batch-level KRP fusion (coalesced batches recompute the Khatri-Rao intermediate per member; the measured baseline)")
+	noSIMD := fs.Bool("nosimd", false, "force the scalar reference kernels for this process (equivalent to MTTKRP_NOSIMD=1; the -simd A/B's served half)")
 	evenSplit := fs.Bool("evensplit", false, "revert admission to the even-split FIFO policy (baseline; default is cost-aware with an aging queue)")
 	maxShare := fs.Float64("maxshare", 0, "cost-aware admission: cap one request's share of the pool width, 0 < v <= 1 (0 = no cap)")
 	maxQueueDelay := fs.Duration("maxqueuedelay", 0, "HTTP: shed requests (429) whose projected queue delay exceeds this (0 = queue everything)")
@@ -192,6 +194,11 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	}
 	if *listen == "" && (*rps != 0 || *burst != 0 || *maxInflight != 0 || *maxPayload != 0 || *maxQueueDelay != 0) {
 		return cli.UsageError{Msg: "-rps/-burst/-maxinflight/-maxpayload/-maxqueuedelay apply to the HTTP front end; pass -listen"}
+	}
+	if *noSIMD {
+		// Before any serving work starts: the dispatch swap is process-global
+		// and unsynchronized by design (see internal/simd).
+		simd.Use(simd.Scalar())
 	}
 
 	serveCfg := repro.ServerConfig{

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro"
+	"repro/internal/simd"
 )
 
 // decodeAll parses every response line the daemon wrote.
@@ -122,5 +123,39 @@ func TestServeDaemonUsageErrors(t *testing.T) {
 	err = run([]string{"positional"}, strings.NewReader(""), &stdout, &stderr)
 	if err == nil {
 		t.Fatal("positional argument accepted")
+	}
+}
+
+// TestServeDaemonNoSIMD pins the -nosimd escape hatch: the daemon selects
+// the scalar dispatch, and the served checksum still matches a direct
+// computation under the default (possibly vectorized) dispatch — the
+// daemon-level face of the simd bit-identity contract.
+func TestServeDaemonNoSIMD(t *testing.T) {
+	prev := simd.Active()
+	defer simd.Use(prev)
+
+	// Reference under the default dispatch, before the daemon swaps it.
+	rng := newRNG(3)
+	x := repro.RandomTensor(rng, 12, 10, 8)
+	u := make([]repro.Matrix, 3)
+	for k := range u {
+		u[k] = repro.RandomMatrix(x.Dim(k), 5, rng)
+	}
+	want := matSum(repro.MTTKRP(x, u, 1, repro.MTTKRPOptions{Threads: 2}))
+
+	script := `{"id":"m1","op":"mttkrp","dims":[12,10,8],"rank":5,"mode":1,"seed":3}`
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-workers", "2", "-nosimd"}, strings.NewReader(script), &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v\nstderr:\n%s", err, stderr.String())
+	}
+	if simd.Active() != simd.Scalar() {
+		t.Error("-nosimd did not select the scalar dispatch")
+	}
+	r := decodeAll(t, stdout.String())["m1"]
+	if !r.OK {
+		t.Fatalf("m1 failed: %s", r.Err)
+	}
+	if r.Sum != want {
+		t.Fatalf("scalar-dispatch sum %v != default-dispatch sum %v", r.Sum, want)
 	}
 }

@@ -186,13 +186,29 @@ func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
 		return
 	}
 	// Boxing at call sites: concrete argument into interface parameter.
+	// Calls through function-typed values — the simd dispatch pointers
+	// are the hot case — have no callee object; the indirection itself is
+	// allocation-free (a plain indirect CALL), so only the signature-level
+	// checks apply, resolved from the value's type.
 	callee := analysis.CalleeFunc(info, call)
-	if callee == nil {
-		return
-	}
-	sig, ok := callee.Type().(*types.Signature)
-	if !ok {
-		return
+	name := exprString(call.Fun)
+	var sig *types.Signature
+	if callee != nil {
+		s, ok := callee.Type().(*types.Signature)
+		if !ok {
+			return
+		}
+		sig, name = s, callee.Name()
+	} else {
+		ft := info.TypeOf(call.Fun)
+		if ft == nil {
+			return
+		}
+		s, ok := ft.Underlying().(*types.Signature)
+		if !ok {
+			return
+		}
+		sig = s
 	}
 	params := sig.Params()
 	for i, arg := range call.Args {
@@ -207,12 +223,12 @@ func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
 			pt = params.At(i).Type()
 		}
 		if boxes(info.TypeOf(arg), pt) {
-			pass.Reportf(arg.Pos(), "argument boxes into interface parameter of %s in //mttkrp:noalloc function", callee.Name())
+			pass.Reportf(arg.Pos(), "argument boxes into interface parameter of %s in //mttkrp:noalloc function", name)
 		}
 	}
 	if sig.Variadic() && call.Ellipsis == token.NoPos && len(call.Args) >= params.Len() {
 		// The variadic backing slice itself allocates.
-		pass.Reportf(call.Pos(), "variadic call of %s in //mttkrp:noalloc function allocates the argument slice", callee.Name())
+		pass.Reportf(call.Pos(), "variadic call of %s in //mttkrp:noalloc function allocates the argument slice", name)
 	}
 }
 

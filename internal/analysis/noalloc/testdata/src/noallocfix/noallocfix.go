@@ -82,3 +82,25 @@ func steady(s *summer, dst, src []float64) {
 	}
 	s.add(dst[0])
 }
+
+// Dispatch-pointer calls: the runtime's simd kernels are reached through
+// package-level function variables. The indirect call itself is
+// allocation-free; signature-level checks (boxing, variadic slices) still
+// apply through the value's type.
+
+var dotPtr func(x, y []float64) float64
+
+var anySink func(v any)
+
+var anySinkVariadic func(vs ...any)
+
+//mttkrp:noalloc
+func goodDispatchCall(x, y []float64) float64 {
+	return dotPtr(x, y) // indirect call: no allocation, no diagnostic
+}
+
+//mttkrp:noalloc
+func badDispatchBoxing(v float64) {
+	anySink(v)            // want `argument boxes into interface parameter of anySink`
+	anySinkVariadic(1, 2) // want `argument boxes into interface parameter of anySinkVariadic` `argument boxes into interface parameter of anySinkVariadic` `variadic call of anySinkVariadic in //mttkrp:noalloc function allocates the argument slice`
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/cli"
 	"repro/internal/mat"
 	"repro/internal/serve"
+	"repro/internal/simd"
 	"repro/internal/tensor"
 	"repro/internal/transport"
 )
@@ -43,6 +44,11 @@ type HTTPLoadConfig struct {
 	// listener (the -fuse=off half of the A/B); ignored when URL targets
 	// an external listener, whose config the load generator cannot set.
 	NoFusion bool
+	// NoSIMD forces the scalar reference kernels in this process for the
+	// duration of the run (the -simd=off half of the A/B). Like
+	// NoFusion, it cannot reach an external listener — there, start the
+	// listener with mttkrp-serve -nosimd instead.
+	NoSIMD bool
 	// Out receives OBS commentary lines (may be nil).
 	Out func(format string, args ...any)
 }
@@ -74,6 +80,11 @@ func HTTPLoad(cfg HTTPLoadConfig) (*Table, error) {
 	if cfg.Out == nil {
 		cfg.Out = func(string, ...any) {}
 	}
+	if cfg.NoSIMD {
+		prev := simd.Active()
+		simd.Use(simd.Scalar())
+		defer simd.Use(prev)
+	}
 
 	url := cfg.URL
 	var srv *transport.Server // non-nil only for the in-process listener
@@ -86,7 +97,7 @@ func HTTPLoad(cfg HTTPLoadConfig) (*Table, error) {
 		go srv.Serve(l)
 		defer srv.Close()
 		url = "http://" + l.Addr().String()
-		cfg.Out("OBS http: started in-process listener %s (%d workers, fusion %s)\n", url, srv.Workers(), onOff(!cfg.NoFusion))
+		cfg.Out("OBS http: started in-process listener %s (%d workers, fusion %s, simd %s)\n", url, srv.Workers(), onOff(!cfg.NoFusion), onOff(!cfg.NoSIMD))
 	}
 
 	client := transport.NewClient(url)

@@ -13,6 +13,7 @@ import (
 	"repro/internal/mat"
 	"repro/internal/parallel"
 	"repro/internal/serve"
+	"repro/internal/simd"
 	"repro/internal/tensor"
 )
 
@@ -41,6 +42,11 @@ type ServeLoadConfig struct {
 	// NoFusion disables batch-level KRP fusion on the served side (the
 	// -fuse=off half of the A/B); the fuse-hit column then reads 0.
 	NoFusion bool
+	// NoSIMD forces the scalar reference kernels for the duration of the
+	// run (the -simd=off half of the A/B). The swap is process-global and
+	// happens before any load starts; the previous dispatch is restored
+	// on return.
+	NoSIMD bool
 	// Out receives OBS commentary lines (may be nil).
 	Out func(format string, args ...any)
 }
@@ -81,6 +87,11 @@ func (c *ServeLoadConfig) withDefaults() {
 // ServeLoadConfig.Mix).
 func ServeLoad(cfg ServeLoadConfig) (*Table, error) {
 	cfg.withDefaults()
+	if cfg.NoSIMD {
+		prev := simd.Active()
+		simd.Use(simd.Scalar())
+		defer simd.Use(prev)
+	}
 	if cfg.Mix != "" {
 		return serveMixLoad(cfg)
 	}
@@ -93,8 +104,8 @@ func ServeLoad(cfg ServeLoadConfig) (*Table, error) {
 	}
 
 	tb := NewTable(
-		fmt.Sprintf("Serving throughput — MTTKRP %v rank %d mode %d, %d requests per level, fusion %s",
-			cfg.Dims, cfg.Rank, cfg.Mode, cfg.Requests, onOff(!cfg.NoFusion)),
+		fmt.Sprintf("Serving throughput — MTTKRP %v rank %d mode %d, %d requests per level, fusion %s, simd %s",
+			cfg.Dims, cfg.Rank, cfg.Mode, cfg.Requests, onOff(!cfg.NoFusion), onOff(!cfg.NoSIMD)),
 		"conc", "served req/s", "naive req/s", "speedup",
 		"served p50 ms", "served p95 ms", "served p99 ms",
 		"naive p50 ms", "naive p95 ms", "naive p99 ms", "fuse hit")
@@ -259,8 +270,8 @@ func serveMixLoad(cfg ServeLoadConfig) (*Table, error) {
 	}
 
 	tb := NewTable(
-		fmt.Sprintf("Mixed serving load — base %v rank %d, mix %s, %d requests per level, fusion %s",
-			cfg.Dims, cfg.Rank, cfg.Mix, cfg.Requests, onOff(!cfg.NoFusion)),
+		fmt.Sprintf("Mixed serving load — base %v rank %d, mix %s, %d requests per level, fusion %s, simd %s",
+			cfg.Dims, cfg.Rank, cfg.Mix, cfg.Requests, onOff(!cfg.NoFusion), onOff(!cfg.NoSIMD)),
 		"conc", "policy", "class", "req/s", "p50 ms", "p95 ms", "p99 ms")
 
 	for _, conc := range cfg.Conc {

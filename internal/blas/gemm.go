@@ -3,7 +3,12 @@ package blas
 import (
 	"repro/internal/mat"
 	"repro/internal/parallel"
+	"repro/internal/simd"
 )
+
+// The simd micro-kernel is specialized to the 4×4 tile; this trips at
+// compile time if the blocking constants ever change without it.
+var _ [16]struct{} = [mr * nr]struct{}{}
 
 // smallGemmFlops is the threshold below which the packed path is not worth
 // its setup cost and a direct loop is used instead. The 1-step algorithm's
@@ -160,6 +165,12 @@ func scaleRows(beta float64, c mat.View) {
 		c.Zero()
 		return
 	}
+	if c.CS == 1 {
+		for i := 0; i < c.R; i++ {
+			simd.Scale(beta, c.Data[i*c.RS:i*c.RS+c.C])
+		}
+		return
+	}
 	for i := 0; i < c.R; i++ {
 		for j := 0; j < c.C; j++ {
 			c.Set(i, j, beta*c.At(i, j))
@@ -191,10 +202,9 @@ func gemmIKJ(alpha float64, a, b, c mat.View) {
 			if aip == 0 {
 				continue
 			}
-			brow := b.Data[p*b.RS : p*b.RS+n]
-			for j, bv := range brow {
-				crow[j] += aip * bv
-			}
+			// crow += aip * brow: the axpy kernel, elementwise and
+			// mul-then-add, so the vectorized path is bit-identical.
+			simd.Axpy(aip, b.Data[p*b.RS:p*b.RS+n], crow)
 		}
 	}
 }
@@ -221,7 +231,10 @@ func gemmStripe(alpha float64, a, b, c mat.View, bl Blocking, ar *parallel.Arena
 	m, n, k := a.R, b.C, a.C
 	ap := ar.Float64("blas.packA", min(bl.MC, roundUp(m, mr))*min(bl.KC, k))
 	bp := ar.Float64("blas.packB", min(bl.KC, k)*min(bl.NC, roundUp(n, nr)))
-	var acc [mr * nr]float64
+	// The micro-kernel accumulator lives in the arena rather than on the
+	// stack: escape analysis cannot see through the simd dispatch pointer,
+	// so a stack local would be moved to the heap on every stripe.
+	acc := (*[mr * nr]float64)(ar.Float64("blas.acc", mr*nr))
 	for jc := 0; jc < n; jc += bl.NC {
 		nc := min(bl.NC, n-jc)
 		for pc := 0; pc < k; pc += bl.KC {
@@ -235,8 +248,8 @@ func gemmStripe(alpha float64, a, b, c mat.View, bl Blocking, ar *parallel.Arena
 					nrr := min(nr, nc-jr)
 					for ir := 0; ir < mc; ir += mr {
 						mrr := min(mr, mc-ir)
-						microKernel(kc, ap[(ir/mr)*mr*kc:], bp[(jr/nr)*nr*kc:], &acc)
-						writeBack(alpha, &acc, cBlk, ir, jr, mrr, nrr)
+						microKernel(kc, ap[(ir/mr)*mr*kc:], bp[(jr/nr)*nr*kc:], acc)
+						writeBack(alpha, acc, cBlk, ir, jr, mrr, nrr)
 					}
 				}
 			}
@@ -313,45 +326,11 @@ func packB(b mat.View, bp []float64) {
 }
 
 // microKernel computes a dense mr×nr = (mr×kc)·(kc×nr) product from packed
-// panels into acc. The 16 accumulators live in registers; the loop is the
-// innermost of the whole library.
+// panels into acc. It is the innermost loop of the whole library and
+// dispatches to internal/simd: four vector accumulators on AVX2 hosts, the
+// bit-identical 16-register scalar reference elsewhere.
 func microKernel(kc int, ap, bp []float64, acc *[mr * nr]float64) {
-	var c00, c01, c02, c03 float64
-	var c10, c11, c12, c13 float64
-	var c20, c21, c22, c23 float64
-	var c30, c31, c32, c33 float64
-	ap = ap[: kc*mr : kc*mr]
-	bp = bp[: kc*nr : kc*nr]
-	for p := 0; p < kc; p++ {
-		a0 := ap[p*mr]
-		a1 := ap[p*mr+1]
-		a2 := ap[p*mr+2]
-		a3 := ap[p*mr+3]
-		b0 := bp[p*nr]
-		b1 := bp[p*nr+1]
-		b2 := bp[p*nr+2]
-		b3 := bp[p*nr+3]
-		c00 += a0 * b0
-		c01 += a0 * b1
-		c02 += a0 * b2
-		c03 += a0 * b3
-		c10 += a1 * b0
-		c11 += a1 * b1
-		c12 += a1 * b2
-		c13 += a1 * b3
-		c20 += a2 * b0
-		c21 += a2 * b1
-		c22 += a2 * b2
-		c23 += a2 * b3
-		c30 += a3 * b0
-		c31 += a3 * b1
-		c32 += a3 * b2
-		c33 += a3 * b3
-	}
-	acc[0], acc[1], acc[2], acc[3] = c00, c01, c02, c03
-	acc[4], acc[5], acc[6], acc[7] = c10, c11, c12, c13
-	acc[8], acc[9], acc[10], acc[11] = c20, c21, c22, c23
-	acc[12], acc[13], acc[14], acc[15] = c30, c31, c32, c33
+	simd.Gemm4x4(kc, ap, bp, acc)
 }
 
 func writeBack(alpha float64, acc *[mr * nr]float64, c mat.View, ir, jr, mrr, nrr int) {

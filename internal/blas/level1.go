@@ -4,7 +4,13 @@ import (
 	"math"
 
 	"repro/internal/mat"
+	"repro/internal/simd"
 )
+
+// The level-1 kernels validate shapes and resolve strides here, then hand
+// every unit-stride inner loop to internal/simd, which dispatches between
+// the scalar reference and the host's vectorized implementation (see that
+// package for the bit-identity contract). Strided fallbacks stay local.
 
 // Dot returns xᵀy for equal-length vectors.
 func Dot(x, y mat.Vec) float64 {
@@ -12,30 +18,11 @@ func Dot(x, y mat.Vec) float64 {
 		panic("blas: dot length mismatch")
 	}
 	if x.Inc == 1 && y.Inc == 1 {
-		return dotUnit(x.Data[:x.N], y.Data[:x.N])
+		return simd.Dot(x.Data[:x.N], y.Data[:x.N])
 	}
 	s := 0.0
 	for i := 0; i < x.N; i++ {
 		s += x.At(i) * y.At(i)
-	}
-	return s
-}
-
-// dotUnit is the unit-stride dot product, unrolled 4-way so the compiler
-// keeps the partial sums in registers.
-func dotUnit(x, y []float64) float64 {
-	n := len(x)
-	var s0, s1, s2, s3 float64
-	i := 0
-	for ; i+4 <= n; i += 4 {
-		s0 += x[i] * y[i]
-		s1 += x[i+1] * y[i+1]
-		s2 += x[i+2] * y[i+2]
-		s3 += x[i+3] * y[i+3]
-	}
-	s := s0 + s1 + s2 + s3
-	for ; i < n; i++ {
-		s += x[i] * y[i]
 	}
 	return s
 }
@@ -49,10 +36,7 @@ func Axpy(alpha float64, x, y mat.Vec) {
 		return
 	}
 	if x.Inc == 1 && y.Inc == 1 {
-		xd, yd := x.Data[:x.N], y.Data[:x.N]
-		for i := range xd {
-			yd[i] += alpha * xd[i]
-		}
+		simd.Axpy(alpha, x.Data[:x.N], y.Data[:x.N])
 		return
 	}
 	for i := 0; i < x.N; i++ {
@@ -63,10 +47,7 @@ func Axpy(alpha float64, x, y mat.Vec) {
 // Scal computes x *= alpha.
 func Scal(alpha float64, x mat.Vec) {
 	if x.Inc == 1 {
-		xd := x.Data[:x.N]
-		for i := range xd {
-			xd[i] *= alpha
-		}
+		simd.Scale(alpha, x.Data[:x.N])
 		return
 	}
 	for i := 0; i < x.N; i++ {
@@ -76,6 +57,9 @@ func Scal(alpha float64, x mat.Vec) {
 
 // Nrm2 returns the Euclidean norm of x, scaled to avoid overflow.
 func Nrm2(x mat.Vec) float64 {
+	if x.Inc == 1 {
+		return nrm2Unit(x.Data[:x.N])
+	}
 	scale := 0.0
 	ssq := 1.0
 	for i := 0; i < x.N; i++ {
@@ -83,21 +67,44 @@ func Nrm2(x mat.Vec) float64 {
 		if v == 0 {
 			continue
 		}
-		a := math.Abs(v)
-		if scale < a {
-			r := scale / a
-			ssq = 1 + ssq*r*r
-			scale = a
-		} else {
-			r := a / scale
-			ssq += r * r
-		}
+		scale, ssq = nrm2Step(scale, ssq, v)
 	}
 	return scale * math.Sqrt(ssq)
 }
 
+// nrm2Unit is the unit-stride norm: the same overflow-safe scaled update
+// in element order (bit-identical to the strided loop), minus the
+// per-element stride arithmetic. The rescaling recurrence is sequential,
+// so it stays scalar.
+func nrm2Unit(xs []float64) float64 {
+	scale := 0.0
+	ssq := 1.0
+	for _, v := range xs {
+		if v == 0 {
+			continue
+		}
+		scale, ssq = nrm2Step(scale, ssq, v)
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// nrm2Step folds one element into the (scale, ssq) state of the scaled
+// sum of squares.
+func nrm2Step(scale, ssq, v float64) (float64, float64) {
+	a := math.Abs(v)
+	if scale < a {
+		r := scale / a
+		return a, 1 + ssq*r*r
+	}
+	r := a / scale
+	return scale, ssq + r*r
+}
+
 // Asum returns the sum of absolute values of x.
 func Asum(x mat.Vec) float64 {
+	if x.Inc == 1 {
+		return simd.SumAbs(x.Data[:x.N])
+	}
 	s := 0.0
 	for i := 0; i < x.N; i++ {
 		s += math.Abs(x.At(i))
@@ -106,10 +113,22 @@ func Asum(x mat.Vec) float64 {
 }
 
 // IAmax returns the index of the element of largest magnitude, or -1 for an
-// empty vector.
+// empty vector. Ties keep the earliest index, so the scan stays scalar and
+// sequential; the unit-stride path only drops the per-element stride
+// arithmetic.
 func IAmax(x mat.Vec) int {
 	if x.N == 0 {
 		return -1
+	}
+	if x.Inc == 1 {
+		xs := x.Data[:x.N]
+		best, idx := math.Abs(xs[0]), 0
+		for i := 1; i < len(xs); i++ {
+			if a := math.Abs(xs[i]); a > best {
+				best, idx = a, i
+			}
+		}
+		return idx
 	}
 	best, idx := math.Abs(x.At(0)), 0
 	for i := 1; i < x.N; i++ {
@@ -136,20 +155,25 @@ func CopyVec(x, y mat.Vec) {
 
 // Had computes z = x ∗ y, the elementwise (Hadamard) product, for
 // unit-stride slices. It is the inner kernel of the row-wise Khatri-Rao
-// product (Algorithm 1), so it is kept allocation-free and unrolled.
+// product (Algorithm 1), so it is kept allocation-free and dispatched to
+// the vectorized implementation. z may alias x or y exactly (krp.Row
+// multiplies in place); partial overlap is not supported.
+//
+//mttkrp:noalloc
 func Had(x, y, z []float64) {
 	if len(x) != len(y) || len(x) != len(z) {
 		panic("blas: hadamard length mismatch")
 	}
-	n := len(z)
-	i := 0
-	for ; i+4 <= n; i += 4 {
-		z[i] = x[i] * y[i]
-		z[i+1] = x[i+1] * y[i+1]
-		z[i+2] = x[i+2] * y[i+2]
-		z[i+3] = x[i+3] * y[i+3]
+	simd.Had(x, y, z)
+}
+
+// HadAccum computes z += x ∗ y, the accumulating Hadamard product, for
+// unit-stride slices. Same aliasing contract as Had.
+//
+//mttkrp:noalloc
+func HadAccum(x, y, z []float64) {
+	if len(x) != len(y) || len(x) != len(z) {
+		panic("blas: hadamard length mismatch")
 	}
-	for ; i < n; i++ {
-		z[i] = x[i] * y[i]
-	}
+	simd.HadAcc(x, y, z)
 }

@@ -171,3 +171,81 @@ func TestDotBilinearQuick(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// strideOut spreads xs into a stride-2 vector over fresh backing storage,
+// so unit-stride fast paths can be checked against the strided reference.
+func strideOut(xs []float64) mat.Vec {
+	data := make([]float64, 2*len(xs))
+	for i, v := range xs {
+		data[2*i] = v
+	}
+	return mat.Vec{Data: data, N: len(xs), Inc: 2}
+}
+
+// TestUnitStrideFastPaths checks that the unit-stride specializations of
+// the reductions (IAmax, Asum, Nrm2) agree with the strided reference loop
+// on the same values, across lengths that cover every vector tail.
+func TestUnitStrideFastPaths(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{0, 1, 2, 3, 5, 7, 8, 9, 15, 16, 17, 33, 100, 1001} {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(7)-3))
+			if rng.Intn(11) == 0 {
+				xs[i] = 0
+			}
+		}
+		unit, strided := mat.FromSlice(xs), strideOut(xs)
+		// Asum's unit-stride kernel carries multiple partial sums (the simd
+		// scalar reference), so it associates the reduction differently from
+		// the sequential strided loop: compare with a roundoff tolerance.
+		// Nrm2 and IAmax run the identical sequential recurrence on both
+		// paths, so they must agree exactly.
+		if got, want := Asum(unit), Asum(strided); math.Abs(got-want) > 1e-12*(1+math.Abs(want)) {
+			t.Errorf("n=%d: Asum unit %v != strided %v", n, got, want)
+		}
+		if got, want := Nrm2(unit), Nrm2(strided); got != want {
+			t.Errorf("n=%d: Nrm2 unit %v != strided %v", n, got, want)
+		}
+		if got, want := IAmax(unit), IAmax(strided); got != want {
+			t.Errorf("n=%d: IAmax unit %v != strided %v", n, got, want)
+		}
+	}
+}
+
+// TestIAmaxTies pins the tie-breaking contract: the earliest index of the
+// largest magnitude wins, on both the unit-stride and strided paths.
+func TestIAmaxTies(t *testing.T) {
+	xs := []float64{2, -7, 7, -7, 1}
+	if got := IAmax(mat.FromSlice(xs)); got != 1 {
+		t.Errorf("IAmax tie unit-stride = %d, want 1", got)
+	}
+	if got := IAmax(strideOut(xs)); got != 1 {
+		t.Errorf("IAmax tie strided = %d, want 1", got)
+	}
+}
+
+func TestHadAccum(t *testing.T) {
+	z := []float64{1, 1, 1, 1, 1}
+	HadAccum([]float64{1, 2, 3, 4, 5}, []float64{2, 2, 2, 2, 2}, z)
+	for i, v := range z {
+		if v != float64(i+1)*2+1 {
+			t.Errorf("HadAccum[%d] = %v", i, v)
+		}
+	}
+	// Accumulating in place onto an operand (z aliases x exactly).
+	x := []float64{1, 2, 3}
+	HadAccum(x, []float64{3, 3, 3}, x)
+	if x[0] != 4 || x[1] != 8 || x[2] != 12 {
+		t.Errorf("in-place HadAccum wrong: %v", x)
+	}
+}
+
+func TestHadAccumMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	HadAccum([]float64{1}, []float64{1, 2}, []float64{0})
+}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/blas"
 	"repro/internal/mat"
 	"repro/internal/parallel"
+	"repro/internal/simd"
 )
 
 // NumRows returns the row count of the KRP of mats, ∏ J_z.
@@ -202,6 +203,13 @@ func RowAtInto(mats []mat.View, j int, out []float64, l []int) {
 func HadamardExpand(row []float64, kl mat.View, out mat.View) {
 	if kl.R != out.R || kl.C != out.C || len(row) != kl.C {
 		panic("krp: hadamard expand dimension mismatch")
+	}
+	if kl.IsRowMajor() && out.IsRowMajor() {
+		// Contiguous operands (the kernel-worker case: arena-backed K
+		// blocks and plan row blocks): one flat call, so the row loop
+		// and its per-row dispatch overhead live inside the kernel.
+		simd.HadExpand(row, kl.Data[:kl.R*kl.C], out.Data[:out.R*out.C])
+		return
 	}
 	for l := 0; l < kl.R; l++ {
 		blas.Had(row, kl.ContiguousRow(l), out.ContiguousRow(l))

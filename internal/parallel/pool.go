@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/simd"
 )
 
 // Pool is a persistent fork-join worker team, the goroutine analogue of an
@@ -106,9 +108,7 @@ func (j *job) exec(w int) {
 		dst := j.parts[0]
 		lo, hi := BlockRange(len(dst), j.t, w)
 		for _, p := range j.parts[1:] {
-			for i := lo; i < hi; i++ {
-				dst[i] += p[i]
-			}
+			simd.Add(p[lo:hi], dst[lo:hi])
 		}
 	}
 }
@@ -495,9 +495,7 @@ func checkReduceParts(parts [][]float64) (dst []float64, seq bool) {
 func reduceSeq(parts [][]float64) []float64 {
 	dst := parts[0]
 	for _, q := range parts[1:] {
-		for i, v := range q {
-			dst[i] += v
-		}
+		simd.Add(q, dst)
 	}
 	return dst
 }

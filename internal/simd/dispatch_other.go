@@ -1,0 +1,9 @@
+//go:build !amd64
+
+package simd
+
+// vectorImpl reports no vectorized kernel set on architectures without
+// one; dispatch stays on the (unrolled, bounds-check-eliminated) scalar
+// reference. A NEON implementation would slot in here behind an arm64
+// build tag with the same bit-identity contract.
+func vectorImpl() *Impl { return nil }
