@@ -10,12 +10,14 @@
 //	mttkrp-bench -serve                    # serving load generator, conc 1/4/16
 //	mttkrp-bench -serve -conc 4 -requests 256 -sdims 60x50x40 -rank 16
 //	mttkrp-bench -serve -mix small:8,large:1   # heterogeneous mix: cost-aware vs even-split, per-class p99
+//	mttkrp-bench -serve -sparse -density 0.01  # COO workload through the nnz-partitioned sparse path
 //	mttkrp-bench -serve -fuse=off              # A/B half: batch-level KRP fusion disabled
 //	mttkrp-bench -serve -simd=off              # A/B half: scalar reference kernels
 //	mttkrp-bench -kernels                      # per-kernel GFLOP/s table, scalar vs vectorized
 //	mttkrp-bench -serve-http               # HTTP load against an in-process listener
 //	mttkrp-bench -serve-http -addr http://host:8080 -requests 256
 //	mttkrp-bench -serve-http -mix small:8,large:1  # mixed payloads over the wire
+//	mttkrp-bench -serve-http -sparse -density 0.05 # COO payloads over the v2 sparse wire format
 //
 // Each figure prints one table per subfigure with the same series the
 // paper plots, followed by OBS lines summarizing the shape claims
@@ -73,6 +75,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	sdims := fs.String("sdims", "48x40x36", "serving: tensor dims, e.g. 60x50x40")
 	rank := fs.Int("rank", 16, "serving: CP rank / factor columns")
 	mixSpec := fs.String("mix", "", "serving: heterogeneous workload mix, e.g. small:8,large:1 (classes small, medium, large scaled from -sdims/-rank; -serve compares cost-aware vs even-split admission per class with p99)")
+	sparse := fs.Bool("sparse", false, "serving: generate COO tensors instead of dense ones (nnz-partitioned kernel, nnz-priced admission; -serve-http ships the v2 sparse wire format)")
+	density := fs.Float64("density", 0.01, "serving: fill fraction of the sparse tensors (with -sparse)")
 	fuse := fs.String("fuse", "on", "serving: batch-level KRP fusion on the served side, on or off (run both for the A/B; tables carry a fuse-hit column)")
 	simdAB := fs.String("simd", "on", "vectorized kernels, on or off (off forces the scalar reference; applies to -serve, -serve-http and -kernels)")
 	kernelsMode := fs.Bool("kernels", false, "print the per-kernel GFLOP/s table (scalar vs vectorized) instead of figure regeneration")
@@ -108,6 +112,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return cli.UsageError{Msg: "-simd applies to the serving load generators and -kernels; pass -serve, -serve-http or -kernels"}
 	}
 	noSIMD := *simdAB == "off"
+	if *sparse && !*serveMode && !*serveHTTP {
+		return cli.UsageError{Msg: "-sparse applies to the serving load generators; pass -serve or -serve-http"}
+	}
+	densitySet := false
+	fs.Visit(func(f *flag.Flag) { densitySet = densitySet || f.Name == "density" })
+	if densitySet && !*sparse {
+		return cli.UsageError{Msg: "-density applies to the sparse workload; pass -sparse"}
+	}
+	if *sparse && (*density <= 0 || *density > 1) {
+		return cli.UsageError{Msg: fmt.Sprintf("-density: %g out of range (0, 1]", *density)}
+	}
 	if *kernelsMode {
 		if *serveMode || *serveHTTP {
 			return cli.UsageError{Msg: "-kernels and the serving load generators are mutually exclusive"}
@@ -156,6 +171,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 				Conc:     levels,
 				Requests: *requests,
 				Mix:      *mixSpec,
+				Sparse:   *sparse,
+				Density:  *density,
 				NoFusion: noFusion,
 				NoSIMD:   noSIMD,
 				Out:      func(format string, a ...any) { fmt.Fprintf(stdout, format, a...) },
@@ -182,6 +199,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 			Conc:     levels,
 			Requests: *requests,
 			Mix:      *mixSpec,
+			Sparse:   *sparse,
+			Density:  *density,
 			NoFusion: noFusion,
 			NoSIMD:   noSIMD,
 			Out:      func(format string, a ...any) { fmt.Fprintf(stdout, format, a...) },

@@ -96,6 +96,52 @@ func TestRunServeHTTPMixTiny(t *testing.T) {
 	}
 }
 
+// TestRunServeSparseTiny drives the COO workload through the in-process
+// serving load generator: the table is tagged with the layout and nnz,
+// and the naive-vs-served comparison runs the sparse kernel on both sides.
+func TestRunServeSparseTiny(t *testing.T) {
+	var out, errOut bytes.Buffer
+	err := run([]string{"-serve", "-sparse", "-density", "0.05", "-conc", "2", "-requests", "8", "-sdims", "14x12x10", "-rank", "4"}, &out, &errOut)
+	if err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errOut.String())
+	}
+	s := out.String()
+	for _, want := range []string{"Serving throughput", "sparse d=0.05", "nnz", "OBS serve conc=2", "# done in"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestRunServeHTTPSparseTiny ships COO payloads over the v2 sparse wire
+// format against the in-process listener.
+func TestRunServeHTTPSparseTiny(t *testing.T) {
+	var out, errOut bytes.Buffer
+	err := run([]string{"-serve-http", "-sparse", "-conc", "2", "-requests", "8", "-sdims", "14x12x10", "-rank", "4"}, &out, &errOut)
+	if err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errOut.String())
+	}
+	s := out.String()
+	for _, want := range []string{"HTTP transport throughput", "sparse d=0.01", "decode", "compute", "# done in"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunSparseFlagValidation(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-sparse"}, &out, &errOut); err == nil {
+		t.Fatal("-sparse without a serving mode accepted")
+	}
+	if err := run([]string{"-serve", "-density", "0.1"}, &out, &errOut); err == nil {
+		t.Fatal("-density without -sparse accepted")
+	}
+	if err := run([]string{"-serve", "-sparse", "-density", "2"}, &out, &errOut); err == nil {
+		t.Fatal("out-of-range -density accepted")
+	}
+}
+
 func TestRunMixFlagValidation(t *testing.T) {
 	var out, errOut bytes.Buffer
 	if err := run([]string{"-mix", "small:1"}, &out, &errOut); err == nil {

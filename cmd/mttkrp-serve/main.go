@@ -9,7 +9,12 @@
 //
 //	{"id":"a1","op":"mttkrp","dims":[60,50,40],"rank":8,"mode":1,"seed":3}
 //	{"id":"a2","op":"cp","dims":[30,30,30],"rank":4,"iters":5,"seed":1}
-//	{"id":"a3","op":"stats"}
+//	{"id":"a3","op":"mttkrp","dims":[60,50,40],"rank":8,"mode":1,"seed":3,"density":0.01}
+//	{"id":"a4","op":"stats"}
+//
+// A "density" in (0, 1] generates a sparse (COO) tensor at that fill
+// fraction instead of a dense one; the request then runs the
+// nnz-partitioned sparse kernel and is priced by its stored entries.
 //
 // HTTP (-listen addr): a network listener speaking the compact binary
 // wire format of internal/transport — clients ship real tensor payloads
@@ -66,6 +71,9 @@ type request struct {
 	Method string `json:"method"` // "auto" (default), "1step", "2step", "reorder"
 	Seed   int64  `json:"seed"`   // tensor/factor generator seed
 	Iters  int    `json:"iters"`  // CP sweeps (default 10)
+	// Density in (0, 1] makes the generated tensor sparse (COO) at that
+	// fill fraction; 0 (the default) keeps it dense.
+	Density float64 `json:"density"`
 }
 
 // response is one protocol line back.
@@ -90,7 +98,7 @@ type problemCache struct {
 }
 
 type problem struct {
-	x *repro.Tensor
+	x repro.AnyTensor
 	u []repro.Matrix
 }
 
@@ -103,7 +111,7 @@ const (
 	maxCachedProbs = 32
 )
 
-func (c *problemCache) get(dims []int, rank int, seed int64) (*problem, error) {
+func (c *problemCache) get(dims []int, rank int, seed int64, density float64) (*problem, error) {
 	if len(dims) < 2 || len(dims) > maxOrder {
 		return nil, fmt.Errorf("need 2..%d dims, got %v", maxOrder, dims)
 	}
@@ -120,14 +128,22 @@ func (c *problemCache) get(dims []int, rank int, seed int64) (*problem, error) {
 	if rank < 1 || rank > 1<<10 {
 		return nil, fmt.Errorf("rank %d out of range [1, 1024]", rank)
 	}
-	key := fmt.Sprintf("%v|c%d|s%d", dims, rank, seed)
+	if density < 0 || density > 1 {
+		return nil, fmt.Errorf("density %g out of range (0, 1]", density)
+	}
+	key := fmt.Sprintf("%v|c%d|s%d|d%g", dims, rank, seed, density)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if p, ok := c.m[key]; ok {
 		return p, nil
 	}
 	rng := newRNG(seed)
-	p := &problem{x: repro.RandomTensor(rng, dims...)}
+	p := &problem{}
+	if density > 0 {
+		p.x = repro.RandomSparseTensor(rng, density, dims...)
+	} else {
+		p.x = repro.RandomTensor(rng, dims...)
+	}
 	for k := 0; k < p.x.Order(); k++ {
 		p.u = append(p.u, repro.RandomMatrix(p.x.Dim(k), rank, rng))
 	}
@@ -264,7 +280,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 				emit(response{ID: req.ID, Err: err.Error()})
 				continue
 			}
-			p, err := cache.get(req.Dims, req.Rank, req.Seed)
+			p, err := cache.get(req.Dims, req.Rank, req.Seed, req.Density)
 			if err != nil {
 				emit(response{ID: req.ID, Err: err.Error()})
 				continue
@@ -283,7 +299,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 				emit(response{ID: id, OK: true, Rows: m.R, Cols: m.C, Sum: matSum(m), Ms: ms})
 			}(req.ID)
 		case "cp":
-			p, err := cache.get(req.Dims, req.Rank, req.Seed)
+			p, err := cache.get(req.Dims, req.Rank, req.Seed, req.Density)
 			if err != nil {
 				emit(response{ID: req.ID, Err: err.Error()})
 				continue

@@ -36,8 +36,10 @@ func TestServeDaemonEndToEnd(t *testing.T) {
 		`{"id":"m2","op":"mttkrp","dims":[12,10,8],"rank":5,"mode":1,"seed":3}`,
 		`{"id":"m3","op":"mttkrp","dims":[12,10,8],"rank":5,"mode":1,"seed":3,"method":"2step"}`,
 		`{"id":"c1","op":"cp","dims":[9,8,7],"rank":3,"iters":3,"seed":1}`,
+		`{"id":"sp1","op":"mttkrp","dims":[12,10,8],"rank":5,"mode":1,"seed":3,"density":0.1}`,
 		`{"id":"bad-op","op":"frobnicate"}`,
 		`{"id":"bad-dims","op":"mttkrp","dims":[12],"rank":5,"mode":0,"seed":3}`,
+		`{"id":"bad-density","op":"mttkrp","dims":[12,10,8],"rank":5,"mode":1,"seed":3,"density":2}`,
 		``,
 		`# comments and blank lines are ignored`,
 		`{"id":"s1","op":"stats"}`,
@@ -48,8 +50,8 @@ func TestServeDaemonEndToEnd(t *testing.T) {
 		t.Fatalf("run: %v\nstderr:\n%s", err, stderr.String())
 	}
 	got := decodeAll(t, stdout.String())
-	if len(got) != 7 {
-		t.Fatalf("got %d responses, want 7:\n%s", len(got), stdout.String())
+	if len(got) != 9 {
+		t.Fatalf("got %d responses, want 9:\n%s", len(got), stdout.String())
 	}
 
 	// Reference checksum computed directly on the same deterministic
@@ -79,7 +81,28 @@ func TestServeDaemonEndToEnd(t *testing.T) {
 	if !cp.OK || cp.Iters != 3 || cp.Fit <= 0 || cp.Fit > 1 {
 		t.Fatalf("c1: %+v", cp)
 	}
-	for _, id := range []string{"bad-op", "bad-dims"} {
+
+	// The sparse request runs against the daemon's deterministic COO
+	// problem; recompute its checksum through the shape-generic facade.
+	srng := newRNG(3)
+	sx := repro.RandomSparseTensor(srng, 0.1, 12, 10, 8)
+	su := make([]repro.Matrix, 3)
+	for k := range su {
+		su[k] = repro.RandomMatrix(sx.Dim(k), 5, srng)
+	}
+	sparseWant := matSum(repro.MTTKRP(sx, su, 1, repro.MTTKRPOptions{Threads: 2}))
+	sp := got["sp1"]
+	if !sp.OK {
+		t.Fatalf("sp1 failed: %s", sp.Err)
+	}
+	if sp.Rows != 10 || sp.Cols != 5 {
+		t.Fatalf("sp1: result %dx%d, want 10x5", sp.Rows, sp.Cols)
+	}
+	if math.Abs(sp.Sum-sparseWant) > 1e-8*math.Abs(sparseWant) {
+		t.Fatalf("sp1: sum %v, want %v", sp.Sum, sparseWant)
+	}
+
+	for _, id := range []string{"bad-op", "bad-dims", "bad-density"} {
 		if r := got[id]; r.OK || r.Err == "" {
 			t.Fatalf("%s: expected an error response, got %+v", id, r)
 		}
@@ -97,14 +120,17 @@ func TestServeDaemonEndToEnd(t *testing.T) {
 // an unbounded tensor and that the problem cache stays bounded.
 func TestServeDaemonResourceCaps(t *testing.T) {
 	c := &problemCache{}
-	if _, err := c.get([]int{4096, 4096, 4096}, 1, 1); err == nil {
+	if _, err := c.get([]int{4096, 4096, 4096}, 1, 1, 0); err == nil {
 		t.Fatal("oversized tensor accepted")
 	}
-	if _, err := c.get([]int{2, 2, 2, 2, 2, 2, 2, 2, 2}, 1, 1); err == nil {
+	if _, err := c.get([]int{2, 2, 2, 2, 2, 2, 2, 2, 2}, 1, 1, 0); err == nil {
 		t.Fatal("order-9 tensor accepted (cap is 8)")
 	}
+	if _, err := c.get([]int{4, 3, 2}, 2, 1, 1.5); err == nil {
+		t.Fatal("density > 1 accepted")
+	}
 	for seed := int64(0); seed < maxCachedProbs+10; seed++ {
-		if _, err := c.get([]int{4, 3, 2}, 2, seed); err != nil {
+		if _, err := c.get([]int{4, 3, 2}, 2, seed, 0); err != nil {
 			t.Fatal(err)
 		}
 	}

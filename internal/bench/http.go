@@ -40,6 +40,14 @@ type HTTPLoadConfig struct {
 	// p50/p95/p99 rows. The served policy is whatever the listener runs;
 	// the policy A/B comparison lives in the in-process -serve mode.
 	Mix string
+	// Sparse ships COO tensors at Density over the sparse wire format
+	// (version 2, /v1/sparse-mttkrp) instead of dense payloads — the
+	// wire-size column then prices coordinates + values, not the full
+	// dense entry count.
+	Sparse bool
+	// Density is the fill fraction of the sparse tensors (default 0.01);
+	// only meaningful with Sparse.
+	Density float64
 	// NoFusion disables batch-level KRP fusion on the in-process
 	// listener (the -fuse=off half of the A/B); ignored when URL targets
 	// an external listener, whose config the load generator cannot set.
@@ -77,6 +85,9 @@ func HTTPLoad(cfg HTTPLoadConfig) (*Table, error) {
 	if cfg.Requests <= 0 {
 		cfg.Requests = 64
 	}
+	if cfg.Density <= 0 || cfg.Density > 1 {
+		cfg.Density = 0.01
+	}
 	if cfg.Out == nil {
 		cfg.Out = func(string, ...any) {}
 	}
@@ -106,20 +117,25 @@ func HTTPLoad(cfg HTTPLoadConfig) (*Table, error) {
 	}
 
 	rng := rand.New(rand.NewSource(99))
-	x := tensor.Random(rng, cfg.Dims...)
+	x := loadTensor(rng, cfg.Sparse, cfg.Density, cfg.Dims...)
 	u := make([]mat.View, x.Order())
 	for k := range u {
 		u[k] = mat.RandomDense(x.Dim(k), cfg.Rank, rng)
 	}
-	payload := (&transport.Header{Op: transport.OpMTTKRP, Mode: cfg.Mode, Rank: cfg.Rank, Dims: cfg.Dims}).WireSize()
+	var payload int64
+	if xs, ok := x.(*tensor.Sparse); ok {
+		payload = transport.SparseHeader(xs, 0, cfg.Mode, cfg.Rank).WireSize()
+	} else {
+		payload = (&transport.Header{Op: transport.OpMTTKRP, Mode: cfg.Mode, Rank: cfg.Rank, Dims: cfg.Dims}).WireSize()
+	}
 
 	tb := NewTable(
-		fmt.Sprintf("HTTP transport throughput — MTTKRP %v rank %d mode %d, %d requests per level, %s/request on the wire",
-			cfg.Dims, cfg.Rank, cfg.Mode, cfg.Requests, cli.FormatBytes(payload)),
+		fmt.Sprintf("HTTP transport throughput — %s MTTKRP %v rank %d mode %d, %d requests per level, %s/request on the wire",
+			layoutTag(cfg.Sparse, cfg.Density, x), cfg.Dims, cfg.Rank, cfg.Mode, cfg.Requests, cli.FormatBytes(payload)),
 		"conc", "req/s", "MB/s in", "p50 ms", "p95 ms", "p99 ms", "decode ms/req", "compute ms/req", "decode share", "rejected", "fuse hit")
 
 	// Warm the connection pool and the server's shape-keyed workspaces.
-	if _, _, err := client.MTTKRP(mat.View{}, x, u, cfg.Mode, 0); err != nil {
+	if _, _, err := clientMTTKRP(client, mat.View{}, x, u, cfg.Mode); err != nil {
 		return nil, fmt.Errorf("bench: warmup request against %s failed: %w", url, err)
 	}
 
@@ -150,6 +166,16 @@ func HTTPLoad(cfg HTTPLoadConfig) (*Table, error) {
 			conc, r.res.throughput, mbps, decodeMs, computeMs, share, r.rejected, hit)
 	}
 	return tb, nil
+}
+
+// clientMTTKRP routes one request to the wire endpoint matching the
+// tensor's layout: dense payloads to /v1/mttkrp, COO payloads to the
+// version-2 sparse endpoint.
+func clientMTTKRP(client *transport.Client, dst mat.View, x tensor.Interface, u []mat.View, mode int) (mat.View, transport.Timing, error) {
+	if xs, ok := x.(*tensor.Sparse); ok {
+		return client.SparseMTTKRP(dst, xs, u, mode, 0)
+	}
+	return client.MTTKRP(dst, x.(*tensor.Dense), u, mode, 0)
 }
 
 // serveStatsOf snapshots the in-process listener's scheduler counters
@@ -192,7 +218,7 @@ func httpMixLoad(cfg HTTPLoadConfig, client *transport.Client, url string, srv *
 		if err != nil {
 			return nil, err
 		}
-		x := tensor.Random(rng, dims...)
+		x := loadTensor(rng, cfg.Sparse, cfg.Density, dims...)
 		u := make([]mat.View, x.Order())
 		for k := range u {
 			u[k] = mat.RandomDense(x.Dim(k), rank, rng)
@@ -204,14 +230,14 @@ func httpMixLoad(cfg HTTPLoadConfig, client *transport.Client, url string, srv *
 		classes[i] = mixClass{name: m.Name, x: x, u: u, mode: mode, rank: rank}
 	}
 	for _, c := range classes {
-		if _, _, err := client.MTTKRP(mat.View{}, c.x, c.u, c.mode, 0); err != nil {
+		if _, _, err := clientMTTKRP(client, mat.View{}, c.x, c.u, c.mode); err != nil {
 			return nil, fmt.Errorf("bench: warmup request against %s failed: %w", url, err)
 		}
 	}
 
 	tb := NewTable(
-		fmt.Sprintf("HTTP mixed serving load — base %v rank %d, mix %s, %d requests per level",
-			cfg.Dims, cfg.Rank, cfg.Mix, cfg.Requests),
+		fmt.Sprintf("HTTP mixed serving load — %s base %v rank %d, mix %s, %d requests per level",
+			layoutTag(cfg.Sparse, cfg.Density, nil), cfg.Dims, cfg.Rank, cfg.Mix, cfg.Requests),
 		"conc", "class", "req/s", "p50 ms", "p95 ms", "p99 ms", "rejected")
 
 	for _, conc := range cfg.Conc {
@@ -242,7 +268,7 @@ func httpMixLoad(cfg HTTPLoadConfig, client *transport.Client, url string, srv *
 					}
 					c := &classes[seq[i]]
 					t0 := time.Now()
-					_, _, err := client.MTTKRP(dsts[seq[i]], c.x, c.u, c.mode, 0)
+					_, _, err := clientMTTKRP(client, dsts[seq[i]], c.x, c.u, c.mode)
 					if err != nil {
 						rejected[seq[i]].Add(1)
 						continue
@@ -290,7 +316,7 @@ type httpLevelResult struct {
 // 429s against a live listener, transport errors) are counted separately
 // and excluded from the latency/throughput series, so a throttled run
 // cannot masquerade as a fast one.
-func runHTTPLevel(cfg HTTPLoadConfig, client *transport.Client, x *tensor.Dense, u []mat.View, conc int) httpLevelResult {
+func runHTTPLevel(cfg HTTPLoadConfig, client *transport.Client, x tensor.Interface, u []mat.View, conc int) httpLevelResult {
 	var r httpLevelResult
 	var mu sync.Mutex
 	latencies := make([]time.Duration, 0, cfg.Requests)
@@ -311,7 +337,7 @@ func runHTTPLevel(cfg HTTPLoadConfig, client *transport.Client, x *tensor.Dense,
 					return
 				}
 				t0 := time.Now()
-				_, tm, err := client.MTTKRP(dst, x, u, cfg.Mode, 0)
+				_, tm, err := clientMTTKRP(client, dst, x, u, cfg.Mode)
 				lat := time.Since(t0)
 				if err != nil {
 					atomic.AddInt64(&r.rejected, 1)

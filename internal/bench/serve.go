@@ -39,6 +39,13 @@ type ServeLoadConfig struct {
 	// the cost-aware and the even-split admission policies, tabulating
 	// per-class p50/p95/p99 — the convoy/tail-latency measurement.
 	Mix string
+	// Sparse switches the generated workload to COO tensors at Density,
+	// driving the nnz-partitioned sparse kernel and nnz-priced admission.
+	// Fusion is dense-only, so sparse runs report a zero fuse hit.
+	Sparse bool
+	// Density is the fill fraction of the sparse tensors (default 0.01);
+	// only meaningful with Sparse.
+	Density float64
 	// NoFusion disables batch-level KRP fusion on the served side (the
 	// -fuse=off half of the A/B); the fuse-hit column then reads 0.
 	NoFusion bool
@@ -73,9 +80,33 @@ func (c *ServeLoadConfig) withDefaults() {
 	if c.Requests <= 0 {
 		c.Requests = 64
 	}
+	if c.Density <= 0 || c.Density > 1 {
+		c.Density = 0.01
+	}
 	if c.Out == nil {
 		c.Out = func(string, ...any) {}
 	}
+}
+
+// loadTensor generates the workload tensor for one class: dense, or COO
+// at the configured density when the sparse workload is selected.
+func loadTensor(rng *rand.Rand, sparse bool, density float64, dims ...int) tensor.Interface {
+	if sparse {
+		return tensor.RandomSparse(rng, density, dims...)
+	}
+	return tensor.Random(rng, dims...)
+}
+
+// layoutTag names the workload layout in table titles and OBS lines (x
+// may be nil when the workload spans several tensors of different nnz).
+func layoutTag(sparse bool, density float64, x tensor.Interface) string {
+	if !sparse {
+		return "dense"
+	}
+	if x == nil {
+		return fmt.Sprintf("sparse d=%g", density)
+	}
+	return fmt.Sprintf("sparse d=%g (nnz %d)", density, x.NNZ())
 }
 
 // ServeLoad drives the serving runtime and the naive per-request-pool
@@ -97,15 +128,15 @@ func ServeLoad(cfg ServeLoadConfig) (*Table, error) {
 	}
 
 	rng := rand.New(rand.NewSource(99))
-	x := tensor.Random(rng, cfg.Dims...)
+	x := loadTensor(rng, cfg.Sparse, cfg.Density, cfg.Dims...)
 	u := make([]mat.View, x.Order())
 	for k := range u {
 		u[k] = mat.RandomDense(x.Dim(k), cfg.Rank, rng)
 	}
 
 	tb := NewTable(
-		fmt.Sprintf("Serving throughput — MTTKRP %v rank %d mode %d, %d requests per level, fusion %s, simd %s",
-			cfg.Dims, cfg.Rank, cfg.Mode, cfg.Requests, onOff(!cfg.NoFusion), onOff(!cfg.NoSIMD)),
+		fmt.Sprintf("Serving throughput — %s MTTKRP %v rank %d mode %d, %d requests per level, fusion %s, simd %s",
+			layoutTag(cfg.Sparse, cfg.Density, x), cfg.Dims, cfg.Rank, cfg.Mode, cfg.Requests, onOff(!cfg.NoFusion), onOff(!cfg.NoSIMD)),
 		"conc", "served req/s", "naive req/s", "speedup",
 		"served p50 ms", "served p95 ms", "served p99 ms",
 		"naive p50 ms", "naive p95 ms", "naive p99 ms", "fuse hit")
@@ -212,7 +243,7 @@ func mixShape(name string, dims []int, rank int) ([]int, int, error) {
 // mixClass is one instantiated workload class.
 type mixClass struct {
 	name string
-	x    *tensor.Dense
+	x    tensor.Interface
 	u    []mat.View
 	mode int
 	rank int
@@ -257,7 +288,7 @@ func serveMixLoad(cfg ServeLoadConfig) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		x := tensor.Random(rng, dims...)
+		x := loadTensor(rng, cfg.Sparse, cfg.Density, dims...)
 		u := make([]mat.View, x.Order())
 		for k := range u {
 			u[k] = mat.RandomDense(x.Dim(k), rank, rng)
@@ -270,8 +301,8 @@ func serveMixLoad(cfg ServeLoadConfig) (*Table, error) {
 	}
 
 	tb := NewTable(
-		fmt.Sprintf("Mixed serving load — base %v rank %d, mix %s, %d requests per level, fusion %s, simd %s",
-			cfg.Dims, cfg.Rank, cfg.Mix, cfg.Requests, onOff(!cfg.NoFusion), onOff(!cfg.NoSIMD)),
+		fmt.Sprintf("Mixed serving load — %s base %v rank %d, mix %s, %d requests per level, fusion %s, simd %s",
+			layoutTag(cfg.Sparse, cfg.Density, nil), cfg.Dims, cfg.Rank, cfg.Mix, cfg.Requests, onOff(!cfg.NoFusion), onOff(!cfg.NoSIMD)),
 		"conc", "policy", "class", "req/s", "p50 ms", "p95 ms", "p99 ms")
 
 	for _, conc := range cfg.Conc {
@@ -356,7 +387,7 @@ func runMixPolicy(cfg ServeLoadConfig, classes []mixClass, seq []int, conc int, 
 // request indices from a shared counter and execute `request` per pull,
 // so the served and naive series run under an identical driver and any
 // methodology change applies to both.
-func driveLoad(cfg ServeLoadConfig, x *tensor.Dense, conc int, request func(dst mat.View)) serveLoadResult {
+func driveLoad(cfg ServeLoadConfig, x tensor.Interface, conc int, request func(dst mat.View)) serveLoadResult {
 	latencies := make([]time.Duration, cfg.Requests)
 	var next sync.Mutex
 	idx := 0
@@ -387,7 +418,7 @@ func driveLoad(cfg ServeLoadConfig, x *tensor.Dense, conc int, request func(dst 
 
 // runServed measures the admission-controlled scheduler under load,
 // returning its counter snapshot alongside (the fusion hit rate column).
-func runServed(cfg ServeLoadConfig, x *tensor.Dense, u []mat.View, conc int) (serveLoadResult, serve.Stats) {
+func runServed(cfg ServeLoadConfig, x tensor.Interface, u []mat.View, conc int) (serveLoadResult, serve.Stats) {
 	s := serve.New(serve.Config{Workers: cfg.Workers, DisableFusion: cfg.NoFusion})
 	defer s.Close()
 	// Warm the shape-keyed workspace set once, as a steady-state server
@@ -407,11 +438,12 @@ func runServed(cfg ServeLoadConfig, x *tensor.Dense, u []mat.View, conc int) (se
 }
 
 // runNaive measures the pre-serving pattern: every request creates its own
-// full-width pool, computes, and tears it down.
-func runNaive(cfg ServeLoadConfig, x *tensor.Dense, u []mat.View, conc int) serveLoadResult {
+// full-width pool, computes, and tears it down. core.Run dispatches on the
+// tensor layout, so the same harness covers dense and sparse workloads.
+func runNaive(cfg ServeLoadConfig, x tensor.Interface, u []mat.View, conc int) serveLoadResult {
 	return driveLoad(cfg, x, conc, func(dst mat.View) {
 		pool := parallel.NewPool(cfg.Workers)
-		core.ComputeInto(dst, core.MethodAuto, x, u, cfg.Mode, core.Options{Pool: pool})
+		core.Run(core.Request{X: x, Factors: u, Mode: cfg.Mode, Dst: dst, Opts: core.Options{Pool: pool}})
 		pool.Close()
 	})
 }

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mat"
+	"repro/internal/parallel"
+	"repro/internal/simd"
+	"repro/internal/tensor"
+)
+
+// Sparse MTTKRP over the compressed fiber layout (tensor.FiberLayout): the
+// COO entries regrouped by their mode-n coordinate into slices, so each
+// output row is produced by one contiguous run of entries. The parallel
+// schedule partitions the entry range — not the slice list — evenly
+// across workers, so a skewed tensor (one slice holding most of the
+// entries, the power-law shape of recommender data) still balances; the
+// price is that a slice split across two workers is accumulated by both,
+// which is why every worker owns a private I_n × C accumulator merged by
+// the pool's reduce tree afterwards. No write locks anywhere — the same
+// private-buffers-plus-reduction structure as the dense 1-step kernel.
+
+// SparseCompute computes the mode-n MTTKRP of a sparse tensor, returning
+// a fresh I_n × C row-major result.
+func SparseCompute(x *tensor.Sparse, u []mat.View, n int, opts Options) mat.View {
+	validateSparse(x, u, n)
+	return SparseComputeInto(mat.NewDense(x.Dim(n), rank(u)), x, u, n, opts)
+}
+
+// SparseComputeInto computes the mode-n MTTKRP of a sparse tensor into a
+// caller-owned contiguous row-major I_n × C matrix. The fiber layout is
+// built on the first call for each (tensor, mode) and cached on the
+// tensor; with a retained dst and a persistent pool, repeated calls run
+// with zero steady-state allocation.
+func SparseComputeInto(dst mat.View, x *tensor.Sparse, u []mat.View, n int, opts Options) mat.View {
+	validateSparse(x, u, n)
+	c := rank(u)
+	in := x.Dim(n)
+	validateDst(dst, in, c)
+	opts.notifyPhase() // kernel entry is a phase boundary: budget changes land here
+	clear(dst.Data[:in*c])
+	nnz := int(x.NNZ())
+	if nnz == 0 {
+		return dst
+	}
+	bd := opts.Breakdown
+	p := opts.pool()
+	t := parallel.Clamp(p.Effective(opts.Threads), nnz)
+	fl := x.Fibers(n)
+	ws := p.Acquire()
+	f := ws.Frame("core.sparse", newSparseFrame).(*sparseFrame)
+
+	f.fl = fl
+	f.u = append(f.u, u...)
+	for k := range u {
+		if k != n {
+			f.opModes = append(f.opModes, k)
+		}
+	}
+	f.c = c
+
+	// Per-worker entry ranges (even nnz split) and the slice each range
+	// starts inside; per-worker row/product scratch and the private
+	// accumulator, all arena-leased. Worker 0 accumulates into dst.
+	//lint:ignore mttkrp/arenaescape cleared in release() before ws.Release below
+	f.bounds = ws.Arena(0).Ints("core.sp.bounds", t+1)
+	//lint:ignore mttkrp/arenaescape cleared in release() before ws.Release below
+	f.startSl = ws.Arena(0).Ints("core.sp.start", t)
+	f.bounds[t] = nnz
+	for w := 0; w < t; w++ {
+		lo, _ := parallel.BlockRange(nnz, t, w)
+		f.bounds[w] = lo
+		f.startSl[w] = sort.Search(fl.Slices(), func(s int) bool {
+			return int(fl.SlicePtr[s+1]) > lo
+		})
+		ar := ws.Arena(w)
+		f.rowBufs = append(f.rowBufs, ar.Float64("core.sp.row", c))
+		f.prodBufs = append(f.prodBufs, ar.Float64("core.sp.prod", c))
+		mb := dst
+		if w > 0 {
+			mb = arenaMatZero(ar, "core.sp.m", in, c)
+		}
+		f.parts = append(f.parts, mb.Data[:in*c])
+	}
+
+	totalW := startWatch()
+	sw := startWatch()
+	p.Run(t, f.worker)
+	bd.add(PhaseGEMM, sw.elapsed()) // the flop core: the sparse analogue of the dense GEMM phase
+
+	sw = startWatch()
+	p.ReduceSum(t, f.parts)
+	bd.add(PhaseReduce, sw.elapsed())
+	bd.addTotal(totalW.elapsed())
+	f.release()
+	ws.Release()
+	return dst
+}
+
+// sparseFrame is the workspace-cached state of the sparse kernel: per-call
+// parameters, per-worker buffers and the pre-bound worker closure, reused
+// across calls so dispatching allocates nothing.
+type sparseFrame struct {
+	fl       *tensor.FiberLayout
+	u        []mat.View
+	opModes  []int
+	c        int
+	bounds   []int // t+1 entry-range boundaries
+	startSl  []int // slice index each worker's range starts inside
+	rowBufs  [][]float64
+	prodBufs [][]float64
+	parts    [][]float64
+	worker   func(w int)
+}
+
+func newSparseFrame() any {
+	f := &sparseFrame{}
+	f.worker = f.runWorker
+	return f
+}
+
+//mttkrp:noalloc
+func (f *sparseFrame) runWorker(w int) {
+	lo, hi := f.bounds[w], f.bounds[w+1]
+	if lo >= hi {
+		return
+	}
+	fl := f.fl
+	c := f.c
+	acc := f.parts[w]
+	row := f.rowBufs[w]
+	prod := f.prodBufs[w]
+	k0 := f.opModes[0]
+	rest := f.opModes[1:]
+	s := f.startSl[w]
+	for p := lo; p < hi; s++ {
+		end := int(fl.SlicePtr[s+1])
+		if end > hi {
+			end = hi
+		}
+		ri := int(fl.SliceIdx[s])
+		// One output row per slice: accumulate the slice's entries into a
+		// C-length row buffer, then add it to the private accumulator
+		// once — entries touch factors, not the I_n × C output.
+		clear(row)
+		for ; p < end; p++ {
+			copy(prod, f.u[k0].ContiguousRow(int(fl.Idx[k0][p])))
+			for _, k := range rest {
+				simd.Had(prod, f.u[k].ContiguousRow(int(fl.Idx[k][p])), prod)
+			}
+			simd.Axpy(fl.Vals[p], prod, row)
+		}
+		simd.Add(row, acc[ri*c:ri*c+c])
+	}
+}
+
+// release clears caller references so the pooled workspace does not retain
+// factor, layout or result memory between calls.
+func (f *sparseFrame) release() {
+	f.u = clearViews(f.u)
+	f.opModes = f.opModes[:0]
+	for i := range f.rowBufs {
+		f.rowBufs[i] = nil
+	}
+	f.rowBufs = f.rowBufs[:0]
+	for i := range f.prodBufs {
+		f.prodBufs[i] = nil
+	}
+	f.prodBufs = f.prodBufs[:0]
+	for i := range f.parts {
+		f.parts[i] = nil
+	}
+	f.parts = f.parts[:0]
+	f.bounds = nil
+	f.startSl = nil
+	f.fl = nil
+}
+
+// validateSparse checks the factor matrices against a sparse tensor,
+// mirroring the dense validate.
+func validateSparse(x *tensor.Sparse, u []mat.View, n int) {
+	nModes := x.Order()
+	if nModes < 2 {
+		panic("core: MTTKRP requires an order ≥ 2 tensor")
+	}
+	if len(u) != nModes {
+		panic(fmt.Sprintf("core: %d factor matrices for an order-%d tensor", len(u), nModes))
+	}
+	if n < 0 || n >= nModes {
+		panic(fmt.Sprintf("core: mode %d out of range [0,%d)", n, nModes))
+	}
+	c := u[0].C
+	for k, m := range u {
+		if m.R != x.Dim(k) {
+			panic(fmt.Sprintf("core: factor %d has %d rows, want %d", k, m.R, x.Dim(k)))
+		}
+		if m.C != c {
+			panic(fmt.Sprintf("core: factor %d has %d columns, want %d", k, m.C, c))
+		}
+		if m.CS != 1 {
+			panic(fmt.Sprintf("core: factor %d must have unit column stride", k))
+		}
+	}
+}

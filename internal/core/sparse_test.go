@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/parallel"
+	"repro/internal/tensor"
+)
+
+// TestSparseMatchesDensifiedReference is the sparse kernel's property
+// suite: ~100 random (shape, density, mode, threads) cases, each checked
+// against the naive dense reference over the densified tensor. Densities
+// span near-empty through half-full so both the skewed-slice and
+// empty-slice paths are exercised.
+func TestSparseMatchesDensifiedReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	densities := []float64{0.001, 0.01, 0.05, 0.2, 0.5}
+	shapes := [][]int{
+		{7, 5}, {9, 13}, {12, 9, 8}, {6, 11, 4}, {8, 6, 7}, {5, 5, 5, 5}, {3, 4, 5, 2, 3},
+	}
+	cases := 0
+	for _, dims := range shapes {
+		for _, density := range densities {
+			x := tensor.RandomSparse(rng, density, dims...)
+			xd := x.Densify()
+			rank := 1 + rng.Intn(8)
+			u := make([]mat.View, len(dims))
+			for k := range u {
+				u[k] = mat.RandomDense(dims[k], rank, rng)
+			}
+			for mode := 0; mode < len(dims); mode++ {
+				threads := 1 + rng.Intn(4)
+				cases++
+				name := fmt.Sprintf("%v-d%g-n%d-t%d", dims, density, mode, threads)
+				t.Run(name, func(t *testing.T) {
+					got := SparseCompute(x, u, mode, Options{Threads: threads})
+					want := Naive(xd, u, mode)
+					for i := 0; i < want.R; i++ {
+						for j := 0; j < want.C; j++ {
+							if math.Abs(got.At(i, j)-want.At(i, j)) > 1e-10 {
+								t.Fatalf("(%d,%d): got %g, want %g", i, j, got.At(i, j), want.At(i, j))
+							}
+						}
+					}
+				})
+			}
+		}
+	}
+	if cases < 100 {
+		t.Fatalf("property suite ran %d cases, want >= 100", cases)
+	}
+}
+
+// TestSparseRequestRun checks the Request dispatcher's sparse paths: the
+// kernel path and the MethodNaive densified-reference path agree.
+func TestSparseRequestRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x := tensor.RandomSparse(rng, 0.05, 20, 15, 10)
+	u := make([]mat.View, 3)
+	for k := range u {
+		u[k] = mat.RandomDense(x.Dim(k), 6, rng)
+	}
+	got := Run(Request{X: x, Factors: u, Mode: 1})
+	ref := Run(Request{X: x, Factors: u, Mode: 1, Method: MethodNaive})
+	for i := 0; i < ref.R; i++ {
+		for j := 0; j < ref.C; j++ {
+			if math.Abs(got.At(i, j)-ref.At(i, j)) > 1e-10 {
+				t.Fatalf("(%d,%d): kernel %g, naive %g", i, j, got.At(i, j), ref.At(i, j))
+			}
+		}
+	}
+}
+
+// TestSparseZeroAndSkew covers the degenerate schedules: an empty tensor,
+// fewer entries than workers, and a fully skewed tensor whose entries all
+// share one output row (a single slice split across every worker).
+func TestSparseZeroAndSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	dims := []int{6, 5, 4}
+	u := make([]mat.View, 3)
+	for k := range u {
+		u[k] = mat.RandomDense(dims[k], 3, rng)
+	}
+
+	empty, err := tensor.SparseFromCOO(dims, [][]int32{{}, {}, {}}, []float64{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := SparseCompute(empty, u, 0, Options{Threads: 4})
+	for i := 0; i < m.R; i++ {
+		for j := 0; j < m.C; j++ {
+			if m.At(i, j) != 0 {
+				t.Fatalf("empty tensor produced nonzero at (%d,%d)", i, j)
+			}
+		}
+	}
+
+	// All entries on mode-0 row 2: one slice, split across all workers.
+	n := 20
+	idx := [][]int32{make([]int32, n), make([]int32, n), make([]int32, n)}
+	vals := make([]float64, n)
+	for p := 0; p < n; p++ {
+		idx[0][p] = 2
+		idx[1][p] = int32(p % dims[1])
+		idx[2][p] = int32(p % dims[2])
+		vals[p] = rng.Float64()
+	}
+	skew, err := tensor.SparseFromCOO(dims, idx, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := SparseCompute(skew, u, 0, Options{Threads: 4})
+	want := Naive(skew.Densify(), u, 0)
+	for i := 0; i < want.R; i++ {
+		for j := 0; j < want.C; j++ {
+			if math.Abs(got.At(i, j)-want.At(i, j)) > 1e-10 {
+				t.Fatalf("skew (%d,%d): got %g, want %g", i, j, got.At(i, j), want.At(i, j))
+			}
+		}
+	}
+}
+
+// TestSparseSteadyStateAllocFree pins the sparse kernel's steady-state
+// guarantee: with the fiber layout cached, a retained dst and a
+// persistent pool, repeated same-shape calls allocate nothing.
+func TestSparseSteadyStateAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := tensor.RandomSparse(rng, 0.02, 60, 50, 40)
+	u := make([]mat.View, 3)
+	for k := 0; k < 3; k++ {
+		u[k] = mat.RandomDense(x.Dim(k), 16, rng)
+	}
+	pool := parallel.NewPool(4)
+	defer pool.Close()
+	for mode := 0; mode < 3; mode++ {
+		dst := mat.NewDense(x.Dim(mode), 16)
+		opts := Options{Threads: 4, Pool: pool}
+		SparseComputeInto(dst, x, u, mode, opts) // warmup: builds + caches the fiber layout
+		SparseComputeInto(dst, x, u, mode, opts)
+		allocs := testing.AllocsPerRun(20, func() {
+			SparseComputeInto(dst, x, u, mode, opts)
+		})
+		t.Logf("mode %d: %.1f allocs/op", mode, allocs)
+		if allocs > 0 {
+			t.Errorf("mode %d: %v allocs/op, want 0", mode, allocs)
+		}
+	}
+}
+
+// BenchmarkSparseMTTKRP measures the sparse kernel at serving-relevant
+// densities (artifacted by the CI bench job).
+func BenchmarkSparseMTTKRP(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	for _, density := range []float64{0.001, 0.01, 0.1} {
+		x := tensor.RandomSparse(rng, density, 200, 150, 100)
+		u := make([]mat.View, 3)
+		for k := 0; k < 3; k++ {
+			u[k] = mat.RandomDense(x.Dim(k), 16, rng)
+		}
+		pool := parallel.NewPool(4)
+		dst := mat.NewDense(x.Dim(1), 16)
+		opts := Options{Threads: 4, Pool: pool}
+		SparseComputeInto(dst, x, u, 1, opts) // warm the fiber cache
+		b.Run(fmt.Sprintf("density=%g", density), func(b *testing.B) {
+			b.SetBytes(8 * x.NNZ())
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				SparseComputeInto(dst, x, u, 1, opts)
+			}
+		})
+		pool.Close()
+	}
+}

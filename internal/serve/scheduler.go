@@ -9,8 +9,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/cpd"
 	"repro/internal/krp"
-	"repro/internal/mat"
 	"repro/internal/parallel"
+	"repro/internal/tensor"
 )
 
 // Config sizes a Server.
@@ -310,14 +310,17 @@ func (s *Server) SubmitMTTKRP(req MTTKRPRequest) *Ticket {
 		return failedTicket(err)
 	}
 	it := &item{mt: &req, tk: newTicket()}
-	cost := costOf(req.CostHint, s.cost.MTTKRP(req.X.Dims(), req.Factors[0].C))
-	if s.fusion && core.PlanFusable(req.Method) {
+	cost := costOf(req.CostHint, s.cost.MTTKRPFor(req.X, req.Factors[0].C))
+	if _, dense := req.X.(*tensor.Dense); dense && s.fusion && core.PlanFusable(req.Method) {
 		// Fingerprint the factors the mode-n KRP is built from, by
 		// value. Batches coalesce by shape alone (amortizing lease and
 		// workspace across any same-shape traffic, factors regardless);
 		// the fingerprint decides at execution which members can share
 		// one KRP plan, so only genuinely fusable requests coalesce
 		// into a fused plan while the rest of the batch runs unfused.
+		// Sparse requests never fingerprint — the sparse kernel has no
+		// KRP intermediate to share (fp stays 0, so fuseSeed skips them
+		// and runFused's dense assertion below always holds).
 		if fp, ok := fuseFingerprint(&req); ok {
 			it.fp = fp
 		}
@@ -665,12 +668,15 @@ func (s *Server) runFused(b *batch, lease *parallel.Lease, seed *item) (saved fl
 		}
 	}()
 	req := seed.mt
+	// Only dense requests carry a fingerprint (fusion is dense-only), so
+	// the seed's tensor is necessarily dense.
+	xd := req.X.(*tensor.Dense)
 	ws := lease.Acquire()
 	defer ws.Release()
 	plan := ws.Frame("serve.fusedplan", newFusedPlanFrame).(*krp.Plan)
 	defer plan.Reset()
 	served0 := plan.ServedRows()
-	core.FillPlan(plan, lease, ws, 0, req.X, req.Factors, req.Mode)
+	core.FillPlan(plan, lease, ws, 0, xd, req.Factors, req.Mode)
 	for _, it := range b.items {
 		it.execute(lease, plan)
 	}
@@ -739,31 +745,26 @@ func (it *item) execute(ex parallel.Executor, plan *krp.Plan) {
 	}()
 	switch {
 	case it.mt != nil:
-		req := it.mt
-		dst := req.Dst
-		if dst.Data == nil {
-			dst = mat.NewDense(req.X.Dim(req.Mode), req.Factors[0].C)
-		}
 		// Threads = 0 resolves to the lease's granted budget; PhaseNotify
 		// applies pending budget changes at each computation boundary —
 		// also between fused batch members, so a mid-batch Reconcile
-		// lands exactly as it would on the unfused path.
-		opts := core.Options{
+		// lands exactly as it would on the unfused path. RunWithPlan
+		// dispatches on the tensor's layout; a sparse member ignores the
+		// plan (it has no KRP intermediate).
+		cr := it.mt.Core()
+		cr.Opts = core.Options{
 			Pool:        ex,
 			PhaseNotify: func() { parallel.Reconcile(ex) },
 		}
-		if plan != nil {
-			tk.m = core.ComputeIntoWithPlan(dst, req.Method, req.X, req.Factors, req.Mode, opts, plan)
-		} else {
-			tk.m = core.ComputeInto(dst, req.Method, req.X, req.Factors, req.Mode, opts)
-		}
+		tk.m = core.RunWithPlan(cr, plan)
 	case it.cp != nil:
 		cfg := it.cp.Config
 		cfg.Pool = ex
 		cfg.Threads = 0
-		// cpd.ALS reconciles the lease between sweeps (and between modes)
-		// itself; no extra wiring needed here.
-		tk.cp, tk.err = cpd.ALS(it.cp.X, cfg)
+		// cpd reconciles the lease between sweeps (and between modes)
+		// itself; no extra wiring needed here. ALSAny dispatches on the
+		// tensor's layout.
+		tk.cp, tk.err = cpd.ALSAny(it.cp.X, cfg)
 	default:
 		it.fn(ex)
 	}
@@ -803,14 +804,21 @@ func (s *Server) Close() {
 }
 
 // shapeKey is the batching signature of an MTTKRP request: tensor shape,
-// rank, mode and method. Two requests with equal keys run correctly on one
-// warmed workspace set.
+// rank, mode, method and layout. Two requests with equal keys run
+// correctly on one warmed workspace set; sparse requests additionally key
+// on nnz, since the sparse kernel's scratch sizing (entry-range bounds,
+// per-worker accumulators) tracks the stored-entry count, and a dense and
+// a sparse request of the same shape must never share a workspace.
 func shapeKey(r MTTKRPRequest) string {
 	key := make([]byte, 0, 48)
 	for i := 0; i < r.X.Order(); i++ {
 		key = fmt.Appendf(key, "%dx", r.X.Dim(i))
 	}
-	return string(fmt.Appendf(key, "|c%d|n%d|m%d", r.Factors[0].C, r.Mode, int(r.Method)))
+	key = fmt.Appendf(key, "|c%d|n%d|m%d", r.Factors[0].C, r.Mode, int(r.Method))
+	if r.X.Layout() == tensor.LayoutCOO {
+		key = fmt.Appendf(key, "|coo%d", r.X.NNZ())
+	}
+	return string(key)
 }
 
 // fuseFingerprint hashes the factor set an MTTKRP's shared KRP is built

@@ -35,10 +35,14 @@ var ErrClosed = errors.New("serve: server closed")
 // the drain as a request error.
 var ErrDraining = errors.New("serve: server draining, not accepting new requests")
 
-// MTTKRPRequest describes one MTTKRP computation to admit.
+// MTTKRPRequest describes one MTTKRP computation to admit. It mirrors
+// core.Request (the canonical request shape — see Core) plus the two
+// admission knobs only the scheduler consumes.
 type MTTKRPRequest struct {
-	// X is the input tensor (shared, read-only during the computation).
-	X *tensor.Dense
+	// X is the input tensor (shared, read-only during the computation):
+	// *tensor.Dense or *tensor.Sparse. The scheduler prices and batches by
+	// its layout — sparse requests cost by nnz · rank, not Π dims · rank.
+	X tensor.Interface
 	// Factors are the I_k × C row-major factor matrices, one per mode.
 	Factors []mat.View
 	// Mode is the MTTKRP mode n.
@@ -64,10 +68,17 @@ type MTTKRPRequest struct {
 // serve alone.
 type Method = core.Method
 
+// Core returns the request as the canonical core.Request shape the
+// executor runs (admission knobs excluded; the scheduler owns Opts).
+func (r *MTTKRPRequest) Core() core.Request {
+	return core.Request{X: r.X, Factors: r.Factors, Mode: r.Mode, Method: r.Method, Dst: r.Dst}
+}
+
 // CPRequest describes one CP-ALS decomposition to admit.
 type CPRequest struct {
-	// X is the input tensor.
-	X *tensor.Dense
+	// X is the input tensor (*tensor.Dense or *tensor.Sparse; sparse runs
+	// the same sweep structure over the sparse MTTKRP kernel).
+	X tensor.Interface
 	// Config configures the run. Pool and Threads are overridden by the
 	// scheduler: the decomposition executes on the lease granted at
 	// admission, with the worker budget the admission policy assigns

@@ -29,6 +29,30 @@ func (p *floatPool) put(b []float64) {
 	p.pool.Put(&b)
 }
 
+// int32Pool recycles the sparse coordinate slabs, mirroring floatPool:
+// one warm index buffer per in-flight sparse request.
+type int32Pool struct {
+	pool sync.Pool // of *[]int32
+}
+
+func (p *int32Pool) get(n int) []int32 {
+	if v := p.pool.Get(); v != nil {
+		b := *(v.(*[]int32))
+		if cap(b) >= n {
+			return b[:n]
+		}
+	}
+	return make([]int32, n)
+}
+
+func (p *int32Pool) put(b []int32) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:0]
+	p.pool.Put(&b)
+}
+
 // bytePool recycles the small chunk buffers the streaming codec converts
 // through.
 type bytePool struct {

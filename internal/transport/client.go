@@ -87,6 +87,53 @@ func (c *Client) MTTKRP(dst mat.View, x *tensor.Dense, factors []mat.View, mode 
 	return m, tm, nil
 }
 
+// SparseMTTKRP ships a sparse tensor (COO coordinates and values at wire
+// version 2) and its factors to the server and returns the I_n × C
+// result. A non-zero dst receives the result without allocating; factor k
+// must be I_k × C.
+func (c *Client) SparseMTTKRP(dst mat.View, x *tensor.Sparse, factors []mat.View, mode int, method core.Method) (mat.View, Timing, error) {
+	if x.Order() == 0 || len(factors) != x.Order() {
+		return mat.View{}, Timing{}, fmt.Errorf("transport: %d factors for an order-%d tensor", len(factors), x.Order())
+	}
+	if len(factors) == 0 {
+		return mat.View{}, Timing{}, fmt.Errorf("transport: no factors")
+	}
+	h := SparseHeader(x, method, mode, factors[0].C)
+	if err := h.Validate(0); err != nil {
+		return mat.View{}, Timing{}, err
+	}
+	start := time.Now()
+	pr, pw := io.Pipe()
+	go func() {
+		pw.CloseWithError(WriteSparseRequest(pw, h, x, factors))
+	}()
+	req, err := http.NewRequest(http.MethodPost, c.BaseURL+"/v1/sparse-mttkrp", pr)
+	if err != nil {
+		pr.Close()
+		return mat.View{}, Timing{}, err
+	}
+	req.ContentLength = h.WireSize()
+	req.Header.Set("Content-Type", "application/x-tensor-wire")
+	if c.Priority != "" {
+		req.Header.Set("X-Priority", c.Priority)
+	}
+	if c.CostHint > 0 {
+		req.Header.Set("X-Cost-Hint", strconv.FormatFloat(c.CostHint, 'g', -1, 64))
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return mat.View{}, Timing{}, err
+	}
+	defer resp.Body.Close()
+	tm := serverTiming(resp)
+	m, err := ReadMatrixInto(resp.Body, dst, MaxDim*MaxRank)
+	if err != nil {
+		return mat.View{}, Timing{}, err
+	}
+	tm.Total = time.Since(start)
+	return m, tm, nil
+}
+
 // CPResult is a served CP decomposition: the fitted Kruskal tensor plus
 // the fit diagnostics the server computed.
 type CPResult struct {

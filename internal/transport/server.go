@@ -19,6 +19,7 @@ import (
 	"repro/internal/cpd"
 	"repro/internal/mat"
 	"repro/internal/serve"
+	"repro/internal/tensor"
 )
 
 // Config sizes a transport Server.
@@ -79,6 +80,7 @@ type Server struct {
 	httpd  *http.Server
 
 	bufs     floatPool // request payload slabs
+	idxs     int32Pool // sparse coordinate slabs
 	dsts     floatPool // MTTKRP result buffers
 	scratch  bytePool  // streaming-codec chunk buffers
 	draining atomic.Bool
@@ -140,6 +142,9 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/mttkrp", func(w http.ResponseWriter, r *http.Request) {
 		s.handleCompute(w, r, OpMTTKRP)
+	})
+	mux.HandleFunc("POST /v1/sparse-mttkrp", func(w http.ResponseWriter, r *http.Request) {
+		s.handleCompute(w, r, OpSparseMTTKRP)
 	})
 	mux.HandleFunc("POST /v1/cp", func(w http.ResponseWriter, r *http.Request) {
 		s.handleCompute(w, r, OpCP)
@@ -315,13 +320,19 @@ func (s *Server) admission(w http.ResponseWriter, r *http.Request, h *Header) (c
 	}
 	model := s.sched.Model()
 	var estimate float64
-	if h.Op == OpCP {
+	switch h.Op {
+	case OpCP:
 		iters := h.Iters
 		if iters <= 0 {
 			iters = s.cfg.CPIters
 		}
 		estimate = model.CP(h.Dims, h.Rank, iters)
-	} else {
+	case OpSparseMTTKRP:
+		// Priced from the header's nnz — before any payload is read —
+		// so a sparse request's admission cost scales with its stored
+		// entries, not its dense shape.
+		estimate = model.SparseMTTKRP(h.NNZ, h.Dims, h.Rank)
+	default:
 		estimate = model.MTTKRP(h.Dims, h.Rank)
 	}
 	switch {
@@ -408,14 +419,25 @@ func (s *Server) handleCompute(w http.ResponseWriter, r *http.Request, wantOp Op
 	}
 	defer s.quotas.releaseBytes(key, payload, now)
 
-	// Stream-decode the payload into a pooled slab: the request's floats
-	// materialize exactly once, and the slab goes back to the pool when
-	// the response has been written.
+	// Stream-decode the payload into pooled slabs: the request's floats
+	// (and, for sparse requests, its int32 coordinates) materialize
+	// exactly once, and the slabs go back to their pools when the
+	// response has been written.
 	buf := s.bufs.get(h.PayloadFloats())
 	defer s.bufs.put(buf)
 	scratch := s.scratch.get()
 	defer s.scratch.put(scratch)
-	x, factors, err := DecodeRequest(r.Body, h, buf, scratch)
+	var (
+		x       tensor.Interface
+		factors []mat.View
+	)
+	if h.sparse() {
+		idx := s.idxs.get(h.IndexInts())
+		defer s.idxs.put(idx)
+		x, factors, err = DecodeSparseRequest(r.Body, h, idx, buf, scratch)
+	} else {
+		x, factors, err = DecodeRequest(r.Body, h, buf, scratch)
+	}
 	if err != nil {
 		s.badRequests.Add(1)
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -426,7 +448,7 @@ func (s *Server) handleCompute(w http.ResponseWriter, r *http.Request, wantOp Op
 	s.decodeNs.Add(decode.Nanoseconds())
 
 	switch h.Op {
-	case OpMTTKRP:
+	case OpMTTKRP, OpSparseMTTKRP:
 		rows := h.Dims[h.Mode]
 		dstBuf := s.dsts.get(rows * h.Rank)
 		defer s.dsts.put(dstBuf)

@@ -35,6 +35,10 @@ type Op uint8
 const (
 	OpMTTKRP Op = 1
 	OpCP     Op = 2
+	// OpSparseMTTKRP is the wire-v2 sparse request: the payload carries
+	// COO coordinates and values instead of a dense linearization. A v1
+	// reader rejects it by version before touching the payload.
+	OpSparseMTTKRP Op = 3
 )
 
 // Wire-format constants. The magic doubles as an endianness check: a
@@ -43,6 +47,11 @@ const (
 const (
 	wireMagic   uint32 = 0x4B54544D // "MTTK" little-endian
 	wireVersion uint8  = 1
+	// wireVersionSparse is the version sparse requests are written at.
+	// Version 2 extends v1 by one rule: sparse ops append an 8-byte nnz
+	// count after the dimension list (dense ops are byte-identical to
+	// v1, and readers accept both versions).
+	wireVersionSparse uint8 = 2
 
 	// fixedHeaderLen is the byte length of the header before the
 	// dimension list: magic(4) version(1) op(1) method(1) ndims(1)
@@ -86,7 +95,14 @@ type Header struct {
 	Seed int64
 	// Dims is the tensor shape.
 	Dims []int
+	// NNZ is the stored-entry count of a sparse request (OpSparseMTTKRP
+	// only; encoded as a uint64 after the dimension list at wire version
+	// 2). Dense ops leave it 0 and omit the field.
+	NNZ int64
 }
+
+// sparse reports whether the request carries a COO payload.
+func (h *Header) sparse() bool { return h.Op == OpSparseMTTKRP }
 
 // TensorElems returns the entry count of the request tensor.
 func (h *Header) TensorElems() int {
@@ -98,10 +114,11 @@ func (h *Header) TensorElems() int {
 }
 
 // FactorElems returns the total entries of the factor matrices shipped
-// after the tensor (MTTKRP requests carry one I_k × C factor per mode; CP
-// requests carry none — the server initializes from Seed).
+// after the tensor (MTTKRP requests, dense or sparse, carry one I_k × C
+// factor per mode; CP requests carry none — the server initializes from
+// Seed).
 func (h *Header) FactorElems() int {
-	if h.Op != OpMTTKRP {
+	if h.Op != OpMTTKRP && h.Op != OpSparseMTTKRP {
 		return 0
 	}
 	n := 0
@@ -111,15 +128,39 @@ func (h *Header) FactorElems() int {
 	return n
 }
 
-// PayloadFloats returns the float64 count following the header.
-func (h *Header) PayloadFloats() int { return h.TensorElems() + h.FactorElems() }
+// PayloadFloats returns the float64 count following the header: the
+// tensor's stored values (all Π dims entries dense, nnz sparse) plus the
+// factor matrices. Sparse coordinates are int32s and counted separately
+// (IndexInts).
+func (h *Header) PayloadFloats() int {
+	if h.sparse() {
+		return int(h.NNZ) + h.FactorElems()
+	}
+	return h.TensorElems() + h.FactorElems()
+}
+
+// IndexInts returns the int32 count of the sparse coordinate block
+// preceding the float payload: nnz coordinates per mode, mode-major. 0
+// for dense ops.
+func (h *Header) IndexInts() int {
+	if !h.sparse() {
+		return 0
+	}
+	return int(h.NNZ) * len(h.Dims)
+}
 
 // PayloadBytes returns the byte length of the payload.
-func (h *Header) PayloadBytes() int64 { return 8 * int64(h.PayloadFloats()) }
+func (h *Header) PayloadBytes() int64 {
+	return 4*int64(h.IndexInts()) + 8*int64(h.PayloadFloats())
+}
 
 // WireSize returns the total request length in bytes: header plus payload.
 func (h *Header) WireSize() int64 {
-	return int64(fixedHeaderLen+4*len(h.Dims)) + h.PayloadBytes()
+	n := int64(fixedHeaderLen + 4*len(h.Dims))
+	if h.sparse() {
+		n += 8 // the nnz field
+	}
+	return n + h.PayloadBytes()
 }
 
 // maxWireFloats is the absolute payload ceiling (2^50 float64s, 8 PiB):
@@ -140,7 +181,17 @@ func (h *Header) checkedPayloadFloats() (int64, error) {
 		elems *= int64(d)
 	}
 	floats := elems
-	if h.Op == OpMTTKRP {
+	if h.sparse() {
+		// A canonical COO payload is sorted and deduped, so its entry
+		// count never exceeds the shape's capacity; a header claiming
+		// more is hostile or corrupt. Bounding by elems ≤ maxWireFloats
+		// also rules out nnz · order overflow below (order ≤ MaxDims).
+		if h.NNZ < 0 || h.NNZ > elems {
+			return 0, fmt.Errorf("%w: nnz %d outside [0, %d] for shape %v", ErrPayloadTooLarge, h.NNZ, elems, h.Dims)
+		}
+		floats = h.NNZ
+	}
+	if h.Op == OpMTTKRP || h.Op == OpSparseMTTKRP {
 		// Each term is ≤ 2^20 · 2^12 under the per-field bounds; eight of
 		// them cannot overflow alongside elems ≤ 2^50.
 		for _, d := range h.Dims {
@@ -160,7 +211,7 @@ func (h *Header) checkedPayloadFloats() (int64, error) {
 // only meaningful on a validated header — Validate is where overflow is
 // ruled out.
 func (h *Header) Validate(maxPayloadBytes int64) error {
-	if h.Op != OpMTTKRP && h.Op != OpCP {
+	if h.Op != OpMTTKRP && h.Op != OpCP && h.Op != OpSparseMTTKRP {
 		return fmt.Errorf("transport: unknown op %d", h.Op)
 	}
 	if h.Method < core.MethodAuto || h.Method > core.MethodReorder {
@@ -177,7 +228,7 @@ func (h *Header) Validate(maxPayloadBytes int64) error {
 	if h.Rank < 1 || h.Rank > MaxRank {
 		return fmt.Errorf("transport: rank %d, want 1..%d", h.Rank, MaxRank)
 	}
-	if h.Op == OpMTTKRP && (h.Mode < 0 || h.Mode >= len(h.Dims)) {
+	if (h.Op == OpMTTKRP || h.Op == OpSparseMTTKRP) && (h.Mode < 0 || h.Mode >= len(h.Dims)) {
 		return fmt.Errorf("transport: mode %d out of range [0,%d)", h.Mode, len(h.Dims))
 	}
 	if h.Iters < 0 || h.Iters > MaxIters {
@@ -187,17 +238,32 @@ func (h *Header) Validate(maxPayloadBytes int64) error {
 	if err != nil {
 		return err
 	}
-	if maxPayloadBytes > 0 && 8*floats > maxPayloadBytes {
-		return fmt.Errorf("%w: %d bytes > %d", ErrPayloadTooLarge, 8*floats, maxPayloadBytes)
+	bytes := 8 * floats
+	if h.sparse() {
+		// The coordinate block: nnz int32s per mode. nnz ≤ 2^50 and
+		// order ≤ 8, so the product stays well inside int64.
+		bytes += 4 * h.NNZ * int64(len(h.Dims))
+	}
+	if maxPayloadBytes > 0 && bytes > maxPayloadBytes {
+		return fmt.Errorf("%w: %d bytes > %d", ErrPayloadTooLarge, bytes, maxPayloadBytes)
 	}
 	return nil
 }
 
-// WriteHeader encodes h (unvalidated — callers validate) to w.
+// WriteHeader encodes h (unvalidated — callers validate) to w. Dense ops
+// write version 1 — byte-identical to the original format, so old readers
+// keep working — and sparse ops write version 2 with the nnz field after
+// the dimension list.
 func WriteHeader(w io.Writer, h *Header) error {
-	buf := make([]byte, fixedHeaderLen+4*len(h.Dims))
+	n := fixedHeaderLen + 4*len(h.Dims)
+	ver := wireVersion
+	if h.sparse() {
+		ver = wireVersionSparse
+		n += 8
+	}
+	buf := make([]byte, n)
 	binary.LittleEndian.PutUint32(buf[0:], wireMagic)
-	buf[4] = wireVersion
+	buf[4] = ver
 	buf[5] = byte(h.Op)
 	buf[6] = byte(h.Method)
 	buf[7] = byte(len(h.Dims))
@@ -207,6 +273,9 @@ func WriteHeader(w io.Writer, h *Header) error {
 	binary.LittleEndian.PutUint64(buf[20:], uint64(h.Seed))
 	for i, d := range h.Dims {
 		binary.LittleEndian.PutUint32(buf[fixedHeaderLen+4*i:], uint32(d))
+	}
+	if h.sparse() {
+		binary.LittleEndian.PutUint64(buf[fixedHeaderLen+4*len(h.Dims):], uint64(h.NNZ))
 	}
 	_, err := w.Write(buf)
 	return err
@@ -223,8 +292,8 @@ func ReadHeader(r io.Reader) (*Header, error) {
 	if got := binary.LittleEndian.Uint32(fixed[0:]); got != wireMagic {
 		return nil, fmt.Errorf("transport: bad magic %#x (not a wire request, or big-endian writer)", got)
 	}
-	if fixed[4] != wireVersion {
-		return nil, fmt.Errorf("transport: wire version %d, want %d", fixed[4], wireVersion)
+	if fixed[4] != wireVersion && fixed[4] != wireVersionSparse {
+		return nil, fmt.Errorf("transport: wire version %d, want %d or %d", fixed[4], wireVersion, wireVersionSparse)
 	}
 	ndims := int(fixed[7])
 	if ndims < 2 || ndims > MaxDims {
@@ -239,12 +308,25 @@ func ReadHeader(r io.Reader) (*Header, error) {
 		Seed:   int64(binary.LittleEndian.Uint64(fixed[20:])),
 		Dims:   make([]int, ndims),
 	}
+	if h.sparse() && fixed[4] < wireVersionSparse {
+		return nil, fmt.Errorf("transport: sparse op requires wire version %d, got %d", wireVersionSparse, fixed[4])
+	}
 	dims := make([]byte, 4*ndims)
 	if _, err := io.ReadFull(r, dims); err != nil {
 		return nil, fmt.Errorf("transport: short dims: %w", err)
 	}
 	for i := range h.Dims {
 		h.Dims[i] = int(binary.LittleEndian.Uint32(dims[4*i:]))
+	}
+	if h.sparse() {
+		var nz [8]byte
+		if _, err := io.ReadFull(r, nz[:]); err != nil {
+			return nil, fmt.Errorf("transport: short nnz: %w", err)
+		}
+		h.NNZ = int64(binary.LittleEndian.Uint64(nz[:]))
+		if h.NNZ < 0 {
+			return nil, fmt.Errorf("transport: implausible nnz %d", h.NNZ)
+		}
 	}
 	return h, nil
 }

@@ -1,0 +1,171 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/mat"
+	"repro/internal/tensor"
+)
+
+// Sparse request payload (wire version 2, OpSparseMTTKRP): after the
+// header's dimension list and nnz field come
+//
+//	order × nnz   int32 coordinates, mode-major (mode 0's nnz coordinates,
+//	              then mode 1's, ...), 0-based, little-endian
+//	nnz           float64 values, little-endian
+//	order         I_k × rank row-major float64 factor matrices
+//
+// Mode-major coordinate slabs keep the decode zero-copy: each mode's
+// column aliases one contiguous run of the pooled int32 buffer, which is
+// exactly the [][]int32 shape tensor.SparseFromCOO takes ownership of.
+// Canonical payloads are sorted and deduped (tensor.Sparse serializes
+// that way), hitting SparseFromCOO's sorted fast path; unsorted or
+// duplicated hostile input is re-canonicalized there rather than
+// rejected.
+
+// writeInts streams data to w as little-endian int32s in chunks through
+// scratch (≥ 4 bytes; nil allocates a default chunk).
+func writeInts(w io.Writer, data []int32, scratch []byte) error {
+	if len(scratch) < 4 {
+		scratch = make([]byte, scratchBytes)
+	}
+	for len(data) > 0 {
+		n := min(len(data), len(scratch)/4)
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint32(scratch[4*i:], uint32(data[i]))
+		}
+		if _, err := w.Write(scratch[:4*n]); err != nil {
+			return err
+		}
+		data = data[n:]
+	}
+	return nil
+}
+
+// readInts fills dst from r, decoding little-endian int32s in chunks
+// through scratch. A short read returns io.ErrUnexpectedEOF, so a
+// truncated coordinate block is a decode error, never a silent
+// short tensor.
+func readInts(r io.Reader, dst []int32, scratch []byte) error {
+	if len(scratch) < 4 {
+		scratch = make([]byte, scratchBytes)
+	}
+	for len(dst) > 0 {
+		n := min(len(dst), len(scratch)/4)
+		if _, err := io.ReadFull(r, scratch[:4*n]); err != nil {
+			if errors.Is(err, io.EOF) {
+				err = io.ErrUnexpectedEOF
+			}
+			return fmt.Errorf("transport: short index payload: %w", err)
+		}
+		for i := 0; i < n; i++ {
+			dst[i] = int32(binary.LittleEndian.Uint32(scratch[4*i:]))
+		}
+		dst = dst[n:]
+	}
+	return nil
+}
+
+// WriteSparseRequest streams one complete sparse MTTKRP request — header,
+// coordinate slabs, values, factor matrices — to w. The header's Dims and
+// NNZ must describe x (use SparseHeader to build one).
+func WriteSparseRequest(w io.Writer, h *Header, x *tensor.Sparse, factors []mat.View) error {
+	if err := h.Validate(0); err != nil {
+		return err
+	}
+	if !h.sparse() {
+		return fmt.Errorf("transport: WriteSparseRequest with op %d", h.Op)
+	}
+	if x.NNZ() != h.NNZ {
+		return fmt.Errorf("transport: header nnz %d, tensor has %d", h.NNZ, x.NNZ())
+	}
+	if err := WriteHeader(w, h); err != nil {
+		return err
+	}
+	scratch := make([]byte, scratchBytes)
+	for k := 0; k < x.Order(); k++ {
+		if err := writeInts(w, x.Index(k), scratch); err != nil {
+			return err
+		}
+	}
+	if err := writeFloats(w, x.Values(), scratch); err != nil {
+		return err
+	}
+	for k, u := range factors {
+		if u.R != x.Dim(k) || u.C != h.Rank {
+			return fmt.Errorf("transport: factor %d is %dx%d, want %dx%d", k, u.R, u.C, x.Dim(k), h.Rank)
+		}
+		if u.IsRowMajor() {
+			if err := writeFloats(w, u.Data[:u.R*u.C], scratch); err != nil {
+				return err
+			}
+			continue
+		}
+		row := make([]float64, u.C)
+		for i := 0; i < u.R; i++ {
+			for j := 0; j < u.C; j++ {
+				row[j] = u.At(i, j)
+			}
+			if err := writeFloats(w, row, scratch); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// SparseHeader builds the wire header for one sparse MTTKRP request.
+func SparseHeader(x *tensor.Sparse, method core.Method, mode, rank int) *Header {
+	return &Header{
+		Op:     OpSparseMTTKRP,
+		Method: method,
+		Mode:   mode,
+		Rank:   rank,
+		Dims:   x.Dims(),
+		NNZ:    x.NNZ(),
+	}
+}
+
+// DecodeSparseRequest reads the payload a validated sparse header promises
+// into ints (length ≥ h.IndexInts()) and floats (length ≥
+// h.PayloadFloats()) and returns the tensor and factor views aliasing
+// them. The caller owns both buffers and must keep them live until the
+// computation completes — the same zero-copy contract as DecodeRequest,
+// with the coordinate slabs landing in a pooled int32 buffer. Out-of-range
+// coordinates are rejected here (by tensor.SparseFromCOO's validation),
+// so a hostile payload cannot index outside the factor matrices.
+func DecodeSparseRequest(r io.Reader, h *Header, ints []int32, floats []float64, scratch []byte) (*tensor.Sparse, []mat.View, error) {
+	needI, needF := h.IndexInts(), h.PayloadFloats()
+	if len(ints) < needI {
+		return nil, nil, fmt.Errorf("transport: index buffer holds %d ints, need %d", len(ints), needI)
+	}
+	if len(floats) < needF {
+		return nil, nil, fmt.Errorf("transport: decode buffer holds %d floats, need %d", len(floats), needF)
+	}
+	if err := readInts(r, ints[:needI], scratch); err != nil {
+		return nil, nil, err
+	}
+	if err := readFloats(r, floats[:needF], scratch); err != nil {
+		return nil, nil, err
+	}
+	nnz := int(h.NNZ)
+	idx := make([][]int32, len(h.Dims))
+	for k := range idx {
+		idx[k] = ints[k*nnz : (k+1)*nnz]
+	}
+	x, err := tensor.SparseFromCOO(h.Dims, idx, floats[:nnz])
+	if err != nil {
+		return nil, nil, fmt.Errorf("transport: bad sparse payload: %w", err)
+	}
+	factors := make([]mat.View, len(h.Dims))
+	off := nnz
+	for k, d := range h.Dims {
+		factors[k] = mat.FromRowMajor(floats[off:off+d*h.Rank], d, h.Rank)
+		off += d * h.Rank
+	}
+	return x, factors, nil
+}

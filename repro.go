@@ -1,11 +1,17 @@
-// Package repro is a shared-memory parallel library for dense-tensor
-// MTTKRP (matricized-tensor times Khatri-Rao product) and CP decomposition,
+// Package repro is a shared-memory parallel library for tensor MTTKRP
+// (matricized-tensor times Khatri-Rao product) and CP decomposition,
 // reproducing Hayashi, Ballard, Jiang & Tobia, "Shared-Memory
-// Parallelization of MTTKRP for Dense Tensors" (PPoPP 2018).
+// Parallelization of MTTKRP for Dense Tensors" (PPoPP 2018), and
+// extending its runtime to sparse (COO) tensors as a first-class
+// workload.
 //
-// The library never reorders tensor entries: tensors are stored once in
-// the natural generalized column-major linearization, and the MTTKRP
-// kernels multiply strided views of that buffer directly.
+// Two tensor layouts share one shape-generic API. Dense tensors are
+// stored once in the natural generalized column-major linearization and
+// never reordered — the MTTKRP kernels multiply strided views of that
+// buffer directly. Sparse tensors hold sorted, deduplicated COO
+// coordinates and run a compressed-fiber kernel that scales with the
+// stored-entry count. Both implement AnyTensor, and MTTKRP/CP dispatch
+// on the layout.
 //
 // Quick start:
 //
@@ -13,12 +19,15 @@
 //	res, err := repro.CP(x, repro.CPConfig{Rank: 8})
 //	// res.K.Factors[n] is the I_n × 8 factor of mode n.
 //
-// The low-level kernels are available directly:
+// The low-level kernels are available directly, for either layout:
 //
 //	m := repro.MTTKRP(x, factors, mode, repro.MTTKRPOptions{Threads: 8})
+//	s := repro.RandomSparseTensor(rng, 0.01, 500, 400, 300)
+//	m = repro.MTTKRP(s, factors, mode, repro.MTTKRPOptions{Threads: 8})
 //
-// See DESIGN.md for the algorithm inventory and EXPERIMENTS.md for the
-// reproduction of the paper's figures.
+// See DESIGN.md for the algorithm inventory (§13 for the sparse layout
+// and wire format) and EXPERIMENTS.md for the reproduction of the
+// paper's figures.
 package repro
 
 import (
@@ -37,9 +46,36 @@ import (
 	"repro/internal/tucker"
 )
 
-// Tensor is a dense N-way tensor in natural (generalized column-major)
+// AnyTensor is the shape-generic tensor: *Dense or *Sparse. Every
+// layout-dispatching entry point (MTTKRP, CP, a Server submission) takes
+// one; the concrete constructors below return the concrete types, so
+// layout-specific methods stay available without assertions.
+type AnyTensor = tensor.Interface
+
+// Dense is a dense N-way tensor in natural (generalized column-major)
 // layout. See the methods of tensor.Dense for accessors, matricization
 // views and utilities.
+type Dense = tensor.Dense
+
+// Sparse is a sparse N-way tensor in sorted, deduplicated COO form with
+// cached per-mode compressed fiber layouts. See the methods of
+// tensor.Sparse for accessors and conversion.
+type Sparse = tensor.Sparse
+
+// Layout identifies a tensor's storage layout (LayoutDense, LayoutCOO).
+type Layout = tensor.Layout
+
+// Tensor layouts.
+const (
+	LayoutDense = tensor.LayoutDense
+	LayoutCOO   = tensor.LayoutCOO
+)
+
+// Tensor is the historical name of the dense tensor type.
+//
+// Deprecated: use Dense. Tensor predates sparse support, when the dense
+// layout was the only one; it remains as an alias so existing callers
+// compile unchanged.
 type Tensor = tensor.Dense
 
 // Matrix is a strided dense matrix view; factor matrices are row-major
@@ -77,17 +113,34 @@ type CPConfig = cpd.Config
 // CPResult reports a CP-ALS run.
 type CPResult = cpd.Result
 
-// NewTensor allocates a zero tensor with the given (positive) dimensions.
-func NewTensor(dims ...int) *Tensor { return tensor.New(dims...) }
+// NewTensor allocates a zero dense tensor with the given (positive)
+// dimensions.
+func NewTensor(dims ...int) *Dense { return tensor.New(dims...) }
 
 // TensorFromData wraps an existing natural-layout buffer without copying.
-func TensorFromData(data []float64, dims ...int) *Tensor {
+func TensorFromData(data []float64, dims ...int) *Dense {
 	return tensor.FromData(data, dims...)
 }
 
-// RandomTensor returns a tensor with uniform [0, 1) entries.
-func RandomTensor(rng *rand.Rand, dims ...int) *Tensor {
+// RandomTensor returns a dense tensor with uniform [0, 1) entries.
+func RandomTensor(rng *rand.Rand, dims ...int) *Dense {
 	return tensor.Random(rng, dims...)
+}
+
+// NewSparseTensor builds a sparse tensor from COO triples: idx[k][p] is
+// entry p's coordinate along mode k, vals[p] its value. The slices are
+// taken over (not copied); entries are sorted lexicographically and
+// duplicate coordinates are summed. Out-of-range coordinates and
+// mismatched lengths return an error.
+func NewSparseTensor(dims []int, idx [][]int32, vals []float64) (*Sparse, error) {
+	return tensor.SparseFromCOO(dims, idx, vals)
+}
+
+// RandomSparseTensor returns a sparse tensor with round(density · Π dims)
+// distinct uniformly-placed entries (at least one), values uniform in
+// [0, 1).
+func RandomSparseTensor(rng *rand.Rand, density float64, dims ...int) *Sparse {
+	return tensor.RandomSparse(rng, density, dims...)
 }
 
 // NewMatrix allocates a rows × cols row-major matrix.
@@ -161,9 +214,11 @@ func NewServer(cfg ServerConfig) *Server { return serve.New(cfg) }
 var ErrDraining = serve.ErrDraining
 
 // Transport is the network front end of a Server: an HTTP listener
-// speaking a compact binary wire format for dense tensors, with per-client
-// token-bucket quotas and graceful drain. Create with NewTransport; attach
-// a listener with its Serve/ListenAndServe methods or ServeTransport.
+// speaking a compact binary wire format for dense and sparse tensors
+// (sparse requests ship COO coordinates and values at wire version 2),
+// with per-client token-bucket quotas and graceful drain. Create with
+// NewTransport; attach a listener with its Serve/ListenAndServe methods
+// or ServeTransport.
 type Transport = transport.Server
 
 // TransportConfig sizes a Transport: the scheduler underneath, quotas,
@@ -211,24 +266,29 @@ func ServeTransport(t *Transport, l net.Listener, notify func(net.Addr)) error {
 func NewClient(baseURL string) *Client { return transport.NewClient(baseURL) }
 
 // MTTKRP computes M = X_(n) · (U_{N-1} ⊙ ⋯ ⊙ U_{n+1} ⊙ U_{n-1} ⊙ ⋯ ⊙ U₀)
-// with the method selected in opts (MethodAuto by default), returning the
-// I_n × C row-major result. Factor k must be I_k × C row-major.
-func MTTKRP(x *Tensor, factors []Matrix, n int, opts MTTKRPOptions) Matrix {
-	method := MethodAuto
-	return core.Compute(method, x, factors, n, opts)
+// for a tensor of either layout, returning the I_n × C row-major result.
+// Factor k must be I_k × C row-major. Dense tensors run the method
+// selected in opts (MethodAuto — the paper's hybrid — by default); sparse
+// tensors run the compressed-fiber kernel.
+func MTTKRP(x AnyTensor, factors []Matrix, n int, opts MTTKRPOptions) Matrix {
+	return core.Run(core.Request{X: x, Factors: factors, Mode: n, Opts: opts})
 }
 
-// MTTKRPWith computes the MTTKRP with an explicit algorithm choice.
-func MTTKRPWith(method Method, x *Tensor, factors []Matrix, n int, opts MTTKRPOptions) Matrix {
-	return core.Compute(method, x, factors, n, opts)
+// MTTKRPWith computes the MTTKRP with an explicit algorithm choice
+// (meaningful for dense tensors; a sparse tensor has one kernel and
+// ignores it, except MethodNaive, which runs the densified reference).
+func MTTKRPWith(method Method, x AnyTensor, factors []Matrix, n int, opts MTTKRPOptions) Matrix {
+	return core.Run(core.Request{X: x, Factors: factors, Mode: n, Method: method, Opts: opts})
 }
 
 // MTTKRPInto computes the MTTKRP into a caller-owned contiguous row-major
 // I_n × C matrix and returns it. With a retained dst and opts.Pool set,
 // repeated same-shape calls reuse the pool's workspaces and allocate
-// nothing — the steady-state entry point for serving and ALS-style loops.
-func MTTKRPInto(dst Matrix, method Method, x *Tensor, factors []Matrix, n int, opts MTTKRPOptions) Matrix {
-	return core.ComputeInto(dst, method, x, factors, n, opts)
+// nothing — the steady-state entry point for serving and ALS-style loops,
+// for both layouts (a sparse tensor's fiber layout is built on the first
+// call per mode and cached).
+func MTTKRPInto(dst Matrix, method Method, x AnyTensor, factors []Matrix, n int, opts MTTKRPOptions) Matrix {
+	return core.Run(core.Request{X: x, Factors: factors, Mode: n, Method: method, Dst: dst, Opts: opts})
 }
 
 // KhatriRao computes the Khatri-Rao product of the given matrices
@@ -241,12 +301,14 @@ func KhatriRao(threads int, mats ...Matrix) Matrix {
 	return out
 }
 
-// CP computes a rank-C CP decomposition of x by alternating least squares
-// using the paper's hybrid MTTKRP (unless cfg.Method overrides it). Set
-// cfg.MultiSweep to share partial MTTKRP results across the modes of each
-// sweep (two tensor passes per sweep instead of N, identical results).
-func CP(x *Tensor, cfg CPConfig) (*CPResult, error) {
-	return cpd.ALS(x, cfg)
+// CP computes a rank-C CP decomposition of x (either layout) by
+// alternating least squares, using the paper's hybrid MTTKRP for dense
+// tensors (unless cfg.Method overrides it) and the compressed-fiber
+// kernel for sparse ones. Set cfg.MultiSweep to share partial MTTKRP
+// results across the modes of each sweep (dense only: two tensor passes
+// per sweep instead of N, identical results).
+func CP(x AnyTensor, cfg CPConfig) (*CPResult, error) {
+	return cpd.ALSAny(x, cfg)
 }
 
 // TTM computes the tensor-times-matrix product Y = X ×n M (Y_(n) = Mᵀ·X_(n))
@@ -267,8 +329,20 @@ func NVecsInit(t int, x *Tensor, rank int, seed int64) *KTensor {
 	return cpd.NVecsInit(t, x, rank, seed)
 }
 
-// LoadTensor reads a tensor saved with (*Tensor).Save.
-func LoadTensor(path string) (*Tensor, error) { return tensor.Load(path) }
+// LoadTensor reads a tensor of either layout, sniffing the file format:
+// the dense binary format written by (*Dense).Save, or text COO triples
+// (one "coord... value" line per entry, 1-based coordinates — the
+// FROSTT .tns convention) written by (*Sparse).Save. Malformed COO lines
+// are reported with their line number.
+func LoadTensor(path string) (AnyTensor, error) { return tensor.LoadAny(path) }
+
+// LoadDenseTensor reads a dense tensor saved with (*Dense).Save.
+func LoadDenseTensor(path string) (*Dense, error) { return tensor.Load(path) }
+
+// LoadSparseTensor reads a sparse tensor from text COO triples (the
+// format (*Sparse).Save writes; dimensions are the per-mode coordinate
+// maxima).
+func LoadSparseTensor(path string) (*Sparse, error) { return tensor.LoadSparse(path) }
 
 // NonnegativeCP computes a nonnegative CP decomposition by HALS (the
 // nonnegative setting of the paper's related work), using the same MTTKRP
