@@ -18,6 +18,8 @@
 //	mttkrp-bench -serve-http -addr http://host:8080 -requests 256
 //	mttkrp-bench -serve-http -mix small:8,large:1  # mixed payloads over the wire
 //	mttkrp-bench -serve-http -sparse -density 0.05 # COO payloads over the v2 sparse wire format
+//	mttkrp-bench -serve-http -mmap                 # by-reference requests: server maps the tensor file, only factors cross the wire
+//	mttkrp-bench -diff-base BENCH_a.json -diff-head BENCH_b.json  # delta table between two CI bench artifacts
 //
 // Each figure prints one table per subfigure with the same series the
 // paper plots, followed by OBS lines summarizing the shape claims
@@ -76,11 +78,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 	rank := fs.Int("rank", 16, "serving: CP rank / factor columns")
 	mixSpec := fs.String("mix", "", "serving: heterogeneous workload mix, e.g. small:8,large:1 (classes small, medium, large scaled from -sdims/-rank; -serve compares cost-aware vs even-split admission per class with p99)")
 	sparse := fs.Bool("sparse", false, "serving: generate COO tensors instead of dense ones (nnz-partitioned kernel, nnz-priced admission; -serve-http ships the v2 sparse wire format)")
+	mmap := fs.Bool("mmap", false, "serve-http: ship by-reference requests (wire v3, /v1/mttkrp-ref) against an in-process listener with a tensor root — the tensor file is mapped server-side and only factors cross the wire (A/B against full payloads via the decode-share column)")
 	density := fs.Float64("density", 0.01, "serving: fill fraction of the sparse tensors (with -sparse)")
 	fuse := fs.String("fuse", "on", "serving: batch-level KRP fusion on the served side, on or off (run both for the A/B; tables carry a fuse-hit column)")
 	simdAB := fs.String("simd", "on", "vectorized kernels, on or off (off forces the scalar reference; applies to -serve, -serve-http and -kernels)")
 	kernelsMode := fs.Bool("kernels", false, "print the per-kernel GFLOP/s table (scalar vs vectorized) instead of figure regeneration")
 	kernelTime := fs.Duration("kernel-mintime", 20*time.Millisecond, "kernels: minimum measured time per cell (larger = steadier numbers)")
+	diffBase := fs.String("diff-base", "", "base go-test-json benchmark artifact (BENCH_<sha>.json); with -diff-head, print the per-benchmark delta table and exit")
+	diffHead := fs.String("diff-head", "", "head go-test-json benchmark artifact to compare against -diff-base")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return err
@@ -88,6 +93,25 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return cli.UsageError{} // the FlagSet already printed message and usage
 	}
 
+	if (*diffBase == "") != (*diffHead == "") {
+		return cli.UsageError{Msg: "-diff-base and -diff-head must be given together"}
+	}
+	if *diffBase != "" {
+		if *serveMode || *serveHTTP || *kernelsMode {
+			return cli.UsageError{Msg: "-diff-base/-diff-head is a standalone mode; drop the other mode flags"}
+		}
+		t, err := bench.DiffFiles(*diffBase, *diffHead)
+		if err != nil {
+			return err
+		}
+		t.Fprint(stdout)
+		if *csvDir != "" {
+			if err := writeCSVs(*csvDir, []*bench.Table{t}); err != nil {
+				return fmt.Errorf("csv: %w", err)
+			}
+		}
+		return nil
+	}
 	if *serveMode && *serveHTTP {
 		return cli.UsageError{Msg: "-serve and -serve-http are mutually exclusive"}
 	}
@@ -122,6 +146,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *sparse && (*density <= 0 || *density > 1) {
 		return cli.UsageError{Msg: fmt.Sprintf("-density: %g out of range (0, 1]", *density)}
+	}
+	if *mmap && !*serveHTTP {
+		return cli.UsageError{Msg: "-mmap applies to the HTTP load generator; pass -serve-http"}
+	}
+	if *mmap && *sparse {
+		return cli.UsageError{Msg: "-mmap ships dense by-reference requests; drop -sparse"}
 	}
 	if *kernelsMode {
 		if *serveMode || *serveHTTP {
@@ -173,6 +203,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 				Mix:      *mixSpec,
 				Sparse:   *sparse,
 				Density:  *density,
+				Mmap:     *mmap,
 				NoFusion: noFusion,
 				NoSIMD:   noSIMD,
 				Out:      func(format string, a ...any) { fmt.Fprintf(stdout, format, a...) },

@@ -119,21 +119,21 @@ func TestE2EHTTPListenerDrain(t *testing.T) {
 		t.Fatalf("oversized request: %v, want HTTP 429", err)
 	}
 
-	// Clean SIGTERM drain: exit 0 and a drain summary.
+	// Clean SIGTERM drain: exit 0 and a drain summary. Read stderr to EOF
+	// before Wait — Wait closes the pipe, which can race the scanner out
+	// of the daemon's final lines.
 	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
 		t.Fatal(err)
 	}
-	waited := make(chan error, 1)
-	go func() { waited <- cmd.Wait() }()
+	var stderrText string
 	select {
-	case err := <-waited:
-		if err != nil {
-			t.Fatalf("daemon exited uncleanly after SIGTERM: %v", err)
-		}
+	case stderrText = <-tail:
 	case <-time.After(30 * time.Second):
 		t.Fatal("daemon did not drain within 30s of SIGTERM")
 	}
-	stderrText := <-tail
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("daemon exited uncleanly after SIGTERM: %v", err)
+	}
 	if !strings.Contains(stderrText, "drained —") {
 		t.Fatalf("missing drain summary on stderr:\n%s", stderrText)
 	}
@@ -143,5 +143,118 @@ func TestE2EHTTPListenerDrain(t *testing.T) {
 	// A post-drain request must fail — the listener is gone.
 	if err := c.Healthy(); err == nil {
 		t.Fatal("listener still accepting after drain")
+	}
+}
+
+// TestE2EHTTPByRefDrain is the out-of-core flow end to end: the real
+// binary with -tensor-root, a tensor file written under the root, one
+// by-reference MTTKRP (only factors cross the wire; the server maps the
+// file) checked against the local kernel, one sandbox rejection, then a
+// clean SIGTERM drain.
+func TestE2EHTTPByRefDrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the daemon binary")
+	}
+	bin := filepath.Join(t.TempDir(), "mttkrp-serve")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	root := t.TempDir()
+	x := repro.RandomTensor(newRNG(21), 24, 20, 16)
+	if err := repro.WriteDenseFile(filepath.Join(root, "x.dsnt"), x); err != nil {
+		t.Fatalf("WriteDenseFile: %v", err)
+	}
+	info, err := repro.StatDenseFile(filepath.Join(root, "x.dsnt"))
+	if err != nil {
+		t.Fatalf("StatDenseFile: %v", err)
+	}
+
+	cmd := exec.Command(bin, "-listen", "127.0.0.1:0", "-workers", "2", "-tensor-root", root)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	sc := bufio.NewScanner(stderr)
+	var baseURL string
+	addrRE := regexp.MustCompile(`listening on (http://\S+)`)
+	addrCh := make(chan string, 1)
+	tail := make(chan string, 1)
+	go func() {
+		var lines []string
+		for sc.Scan() {
+			line := sc.Text()
+			lines = append(lines, line)
+			if m := addrRE.FindStringSubmatch(line); m != nil {
+				addrCh <- m[1]
+			}
+		}
+		tail <- strings.Join(lines, "\n")
+	}()
+	select {
+	case baseURL = <-addrCh:
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never reported its listen address")
+	}
+
+	c := repro.NewClient(baseURL)
+	c.APIKey = "e2e-byref"
+
+	u := make([]repro.Matrix, x.Order())
+	rng := newRNG(22)
+	for k := range u {
+		u[k] = repro.RandomMatrix(x.Dim(k), 8, rng)
+	}
+	ref := repro.TensorRefFor(info, "x.dsnt")
+	got, tm, err := c.MTTKRPByRef(repro.Matrix{}, ref, x.Dims(), u, 1, repro.MethodAuto)
+	if err != nil {
+		t.Fatalf("served by-ref MTTKRP: %v", err)
+	}
+	want := repro.MTTKRP(x, u, 1, repro.MTTKRPOptions{})
+	if got.R != want.R || got.C != want.C {
+		t.Fatalf("served %dx%d, want %dx%d", got.R, got.C, want.R, want.C)
+	}
+	for i := 0; i < want.R; i++ {
+		for j := 0; j < want.C; j++ {
+			d := got.At(i, j) - want.At(i, j)
+			if d > 1e-12 || d < -1e-12 {
+				t.Fatalf("served by-ref result diverges at (%d,%d)", i, j)
+			}
+		}
+	}
+	if tm.Compute <= 0 {
+		t.Fatalf("missing server timing: %+v", tm)
+	}
+
+	// A path escaping the root must be rejected as structurally illegal.
+	bad := ref
+	bad.Path = "../x.dsnt"
+	_, _, err = c.MTTKRPByRef(repro.Matrix{}, bad, x.Dims(), u, 1, repro.MethodAuto)
+	var he *repro.TransportError
+	if !errors.As(err, &he) || he.StatusCode != http.StatusBadRequest {
+		t.Fatalf("escaping ref: %v, want HTTP 400", err)
+	}
+
+	// Read stderr to EOF before Wait — Wait closes the pipe, which can
+	// race the scanner out of the daemon's final lines.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	var stderrText string
+	select {
+	case stderrText = <-tail:
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not drain within 30s of SIGTERM")
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("daemon exited uncleanly after SIGTERM: %v", err)
+	}
+	if !strings.Contains(stderrText, "drained —") {
+		t.Fatalf("missing drain summary on stderr:\n%s", stderrText)
 	}
 }

@@ -21,12 +21,16 @@
 // (POST /v1/mttkrp, /v1/cp; GET /v1/stats, /healthz), per-client
 // token-bucket quotas apply (-rps, -burst, -maxinflight, keyed by the
 // X-API-Key header), and SIGTERM drains gracefully: admitted tickets
-// finish, new submissions see 503, then the process exits 0.
+// finish, new submissions see 503, then the process exits 0. With
+// -tensor-root DIR, clients may additionally POST by-reference requests
+// (/v1/mttkrp-ref) naming a mappable tensor file inside DIR instead of
+// shipping the tensor payload; the server maps the file and streams the
+// kernel through row tiles, so the referenced tensor may exceed RAM.
 //
 // Usage:
 //
 //	mttkrp-serve [-workers N] [-minworkers N] [-maxactive N] [-nobatch] [-evensplit] [-maxshare F]
-//	mttkrp-serve -listen :8080 [-rps R] [-burst B] [-maxinflight BYTES] [-maxpayload BYTES] [-maxqueuedelay D]
+//	mttkrp-serve -listen :8080 [-rps R] [-burst B] [-maxinflight BYTES] [-maxpayload BYTES] [-maxqueuedelay D] [-tensor-root DIR]
 //
 // Admission is cost-aware by default: budgets are weighted by request
 // cost (tensor size × rank), the queue ages so small requests are not
@@ -199,6 +203,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	burst := fs.Int("burst", 0, "HTTP: per-client burst depth (0 = ceil(rps))")
 	maxInflight := fs.Int64("maxinflight", 0, "HTTP: per-client in-flight payload byte cap (0 = unlimited)")
 	maxPayload := fs.Int64("maxpayload", 0, "HTTP: largest accepted request payload in bytes (0 = 1 GiB)")
+	tensorRoot := fs.String("tensor-root", "", "HTTP: enable by-reference requests (/v1/mttkrp-ref) resolving tensor files inside this directory (empty = disabled)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return err
@@ -208,8 +213,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	if fs.NArg() > 0 {
 		return cli.UsageError{Msg: fmt.Sprintf("unexpected argument %q (requests arrive on stdin or -listen)", fs.Arg(0))}
 	}
-	if *listen == "" && (*rps != 0 || *burst != 0 || *maxInflight != 0 || *maxPayload != 0 || *maxQueueDelay != 0) {
-		return cli.UsageError{Msg: "-rps/-burst/-maxinflight/-maxpayload/-maxqueuedelay apply to the HTTP front end; pass -listen"}
+	if *listen == "" && (*rps != 0 || *burst != 0 || *maxInflight != 0 || *maxPayload != 0 || *maxQueueDelay != 0 || *tensorRoot != "") {
+		return cli.UsageError{Msg: "-rps/-burst/-maxinflight/-maxpayload/-maxqueuedelay/-tensor-root apply to the HTTP front end; pass -listen"}
 	}
 	if *noSIMD {
 		// Before any serving work starts: the dispatch swap is process-global
@@ -237,6 +242,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 			},
 			MaxPayloadBytes: *maxPayload,
 			MaxQueueDelay:   *maxQueueDelay,
+			TensorRoot:      *tensorRoot,
 		}, stderr)
 	}
 

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -45,6 +47,14 @@ type HTTPLoadConfig struct {
 	// wire-size column then prices coordinates + values, not the full
 	// dense entry count.
 	Sparse bool
+	// Mmap ships by-reference requests (wire version 3, /v1/mttkrp-ref):
+	// the tensor is written once to a mappable file under the in-process
+	// listener's tensor root, and every request carries only the factor
+	// matrices plus the file reference — the A/B against full-payload
+	// requests whose win shows up in the decode-share column. In-process
+	// listener only (an external listener's tensor root is unreachable
+	// from here); mutually exclusive with Sparse.
+	Mmap bool
 	// Density is the fill fraction of the sparse tensors (default 0.01);
 	// only meaningful with Sparse.
 	Density float64
@@ -97,10 +107,30 @@ func HTTPLoad(cfg HTTPLoadConfig) (*Table, error) {
 		defer simd.Use(prev)
 	}
 
+	if cfg.Mmap && cfg.Sparse {
+		return nil, fmt.Errorf("bench: -mmap ships dense by-reference requests; drop -sparse")
+	}
+	if cfg.Mmap && cfg.URL != "" {
+		return nil, fmt.Errorf("bench: -mmap needs the in-process listener (an external listener's tensor root is unreachable); drop -addr")
+	}
+
+	var tensorRoot string
+	if cfg.Mmap {
+		dir, err := os.MkdirTemp("", "mttkrp-bench-mmap-")
+		if err != nil {
+			return nil, fmt.Errorf("bench: tensor root: %w", err)
+		}
+		defer os.RemoveAll(dir)
+		tensorRoot = dir
+	}
+
 	url := cfg.URL
 	var srv *transport.Server // non-nil only for the in-process listener
 	if url == "" {
-		srv = transport.NewServer(transport.Config{Serve: serve.Config{Workers: cfg.Workers, DisableFusion: cfg.NoFusion}})
+		srv = transport.NewServer(transport.Config{
+			Serve:      serve.Config{Workers: cfg.Workers, DisableFusion: cfg.NoFusion},
+			TensorRoot: tensorRoot,
+		})
 		l, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			return nil, fmt.Errorf("bench: in-process listener: %w", err)
@@ -122,26 +152,49 @@ func HTTPLoad(cfg HTTPLoadConfig) (*Table, error) {
 	for k := range u {
 		u[k] = mat.RandomDense(x.Dim(k), cfg.Rank, rng)
 	}
+
+	// send routes one steady-state request: by reference when Mmap (the
+	// tensor file written once, below), by payload otherwise.
+	send := func(dst mat.View) (mat.View, transport.Timing, error) {
+		return clientMTTKRP(client, dst, x, u, cfg.Mode)
+	}
 	var payload int64
-	if xs, ok := x.(*tensor.Sparse); ok {
-		payload = transport.SparseHeader(xs, 0, cfg.Mode, cfg.Rank).WireSize()
-	} else {
-		payload = (&transport.Header{Op: transport.OpMTTKRP, Mode: cfg.Mode, Rank: cfg.Rank, Dims: cfg.Dims}).WireSize()
+	switch {
+	case cfg.Mmap:
+		path := filepath.Join(tensorRoot, "x.dsnt")
+		if err := tensor.WriteDenseFile(path, x.(*tensor.Dense)); err != nil {
+			return nil, fmt.Errorf("bench: write tensor file: %w", err)
+		}
+		info, err := tensor.StatDense(path)
+		if err != nil {
+			return nil, fmt.Errorf("bench: stat tensor file: %w", err)
+		}
+		ref := transport.RefFor(info, "x.dsnt")
+		send = func(dst mat.View) (mat.View, transport.Timing, error) {
+			return client.MTTKRPByRef(dst, ref, cfg.Dims, u, cfg.Mode, 0)
+		}
+		payload = (&transport.Header{Op: transport.OpMTTKRPByRef, Mode: cfg.Mode, Rank: cfg.Rank, Dims: cfg.Dims, Ref: ref}).WireSize()
+	default:
+		if xs, ok := x.(*tensor.Sparse); ok {
+			payload = transport.SparseHeader(xs, 0, cfg.Mode, cfg.Rank).WireSize()
+		} else {
+			payload = (&transport.Header{Op: transport.OpMTTKRP, Mode: cfg.Mode, Rank: cfg.Rank, Dims: cfg.Dims}).WireSize()
+		}
 	}
 
 	tb := NewTable(
 		fmt.Sprintf("HTTP transport throughput — %s MTTKRP %v rank %d mode %d, %d requests per level, %s/request on the wire",
-			layoutTag(cfg.Sparse, cfg.Density, x), cfg.Dims, cfg.Rank, cfg.Mode, cfg.Requests, cli.FormatBytes(payload)),
+			httpLayoutTag(cfg, x), cfg.Dims, cfg.Rank, cfg.Mode, cfg.Requests, cli.FormatBytes(payload)),
 		"conc", "req/s", "MB/s in", "p50 ms", "p95 ms", "p99 ms", "decode ms/req", "compute ms/req", "decode share", "rejected", "fuse hit")
 
 	// Warm the connection pool and the server's shape-keyed workspaces.
-	if _, _, err := clientMTTKRP(client, mat.View{}, x, u, cfg.Mode); err != nil {
+	if _, _, err := send(mat.View{}); err != nil {
 		return nil, fmt.Errorf("bench: warmup request against %s failed: %w", url, err)
 	}
 
 	for _, conc := range cfg.Conc {
 		pre := serveStatsOf(srv)
-		r := runHTTPLevel(cfg, client, x, u, conc)
+		r := runHTTPLevel(cfg, send, x, conc)
 		hit := httpFuseHit(srv, pre)
 		completed := cfg.Requests - int(r.rejected)
 		decodeMs, computeMs := 0.0, 0.0
@@ -166,6 +219,15 @@ func HTTPLoad(cfg HTTPLoadConfig) (*Table, error) {
 			conc, r.res.throughput, mbps, decodeMs, computeMs, share, r.rejected, hit)
 	}
 	return tb, nil
+}
+
+// httpLayoutTag labels the table title with the request style: the layout
+// tag of payload-shipping runs, or the by-reference marker for -mmap.
+func httpLayoutTag(cfg HTTPLoadConfig, x tensor.Interface) string {
+	if cfg.Mmap {
+		return "by-ref mmapped dense"
+	}
+	return layoutTag(cfg.Sparse, cfg.Density, x)
 }
 
 // clientMTTKRP routes one request to the wire endpoint matching the
@@ -311,12 +373,12 @@ type httpLevelResult struct {
 }
 
 // runHTTPLevel fires cfg.Requests through conc submitters sharing one
-// client (and so one pooled connection set), with a retained dst per
-// submitter — the steady-state client pattern. Rejected requests (quota
-// 429s against a live listener, transport errors) are counted separately
-// and excluded from the latency/throughput series, so a throttled run
-// cannot masquerade as a fast one.
-func runHTTPLevel(cfg HTTPLoadConfig, client *transport.Client, x tensor.Interface, u []mat.View, conc int) httpLevelResult {
+// send function (one client, one pooled connection set), with a retained
+// dst per submitter — the steady-state client pattern. Rejected requests
+// (quota 429s against a live listener, transport errors) are counted
+// separately and excluded from the latency/throughput series, so a
+// throttled run cannot masquerade as a fast one.
+func runHTTPLevel(cfg HTTPLoadConfig, send func(mat.View) (mat.View, transport.Timing, error), x tensor.Interface, conc int) httpLevelResult {
 	var r httpLevelResult
 	var mu sync.Mutex
 	latencies := make([]time.Duration, 0, cfg.Requests)
@@ -337,7 +399,7 @@ func runHTTPLevel(cfg HTTPLoadConfig, client *transport.Client, x tensor.Interfa
 					return
 				}
 				t0 := time.Now()
-				_, tm, err := clientMTTKRP(client, dst, x, u, cfg.Mode)
+				_, tm, err := send(dst)
 				lat := time.Since(t0)
 				if err != nil {
 					atomic.AddInt64(&r.rejected, 1)

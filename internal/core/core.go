@@ -102,10 +102,37 @@ type Options struct {
 	// the computing goroutine and must not dispatch on opts.Pool.
 	PhaseNotify func()
 
+	// TileRows, when positive, streams dense 1-step/2-step computations
+	// (and the hybrid) through mode-n row-block tiles of at most this many
+	// rows: each tile of the mode-n matricization is gathered into a
+	// bounded workspace buffer (or aliased in place when it is contiguous)
+	// and run through the untiled kernel, so the resident working set is
+	// the tile, not the tensor — the out-of-core path for mmap-backed
+	// tensors. Output bits are identical to the untiled kernels (the GEMM
+	// size class is pinned to the full extent; see blas.GemmArenaClass).
+	// AutoTileRows derives a value from a byte budget. Zero disables
+	// tiling; MethodReorder and MethodNaive ignore it.
+	TileRows int
+
 	// plan, when non-nil, is a prebuilt shared Khatri-Rao intermediate the
 	// kernels may consume instead of recomputing their partial KRPs (batch
 	// fusion; set via ComputeIntoWithPlan, which documents the contract).
 	plan *krp.Plan
+
+	// tileClass, when positive, marks this call as a row tile of a logical
+	// computation whose full mode-n extent is tileClass rows; kernels pin
+	// their GEMM size-class decisions to it so tiles reproduce the untiled
+	// bit patterns. Set by the tiled driver only.
+	tileClass int
+}
+
+// classRows resolves the GEMM size-class row count: the full mode-n extent
+// when executing a tile, the natural extent otherwise.
+func (o Options) classRows(natural int) int {
+	if o.tileClass > 0 {
+		return o.tileClass
+	}
+	return natural
 }
 
 // notifyPhase invokes the phase-boundary hook, if any.
@@ -147,14 +174,26 @@ func ComputeInto(dst mat.View, method Method, x *tensor.Dense, u []mat.View, n i
 	// this for every exported *Into entry point.
 	switch method {
 	case MethodOneStep:
+		if tiled(x, n, opts) {
+			return OneStepTiledInto(dst, x, u, n, opts)
+		}
 		return OneStepInto(dst, x, u, n, opts)
 	case MethodTwoStep:
+		if tiled(x, n, opts) {
+			return TwoStepTiledInto(dst, x, u, n, opts)
+		}
 		return TwoStepInto(dst, x, u, n, opts)
 	case MethodReorder:
 		return ReorderInto(dst, x, u, n, opts)
 	case MethodAuto:
 		if isExternal(x, n) {
+			if tiled(x, n, opts) {
+				return OneStepTiledInto(dst, x, u, n, opts)
+			}
 			return OneStepInto(dst, x, u, n, opts)
+		}
+		if tiled(x, n, opts) {
+			return TwoStepTiledInto(dst, x, u, n, opts)
 		}
 		return TwoStepInto(dst, x, u, n, opts)
 	case MethodNaive:

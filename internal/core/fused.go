@@ -55,6 +55,22 @@ func FillPlan(p *krp.Plan, ex parallel.Executor, ws *parallel.Workspace, t int, 
 	f.right = clearViews(f.right)
 }
 
+// PlanCovers reports whether p, as currently filled, would serve mode n of
+// the factor set u — i.e. a FillPlan with these operands is redundant. It
+// is how the batch executor detects that the plan a shape-keyed workspace
+// retained from the previous batch (detached: snapshots only) already
+// covers the next batch's factor set, fusing across batch boundaries.
+func PlanCovers(p *krp.Plan, ws *parallel.Workspace, x *tensor.Dense, u []mat.View, n int) bool {
+	validate(x, u, n)
+	f := ws.Frame("core.planops", newPlanOpsFrame).(*planOpsFrame)
+	f.left = appendLeftOperands(f.left, u, n)
+	f.right = appendRightOperands(f.right, u, n)
+	ok := p.Covers(f.left, f.right)
+	f.left = clearViews(f.left)
+	f.right = clearViews(f.right)
+	return ok
+}
+
 // PlanFusable reports whether the method can consume a shared KRP plan.
 // The reorder baseline materializes its KRP in a layout the plan does not
 // provide, and the naive reference never forms one.

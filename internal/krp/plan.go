@@ -159,6 +159,38 @@ func sameBacking(a, b mat.View) bool {
 		a.R == b.R && a.C == b.C && a.RS == b.RS && a.CS == b.CS
 }
 
+// Detach clears the plan's original caller views while keeping the filled
+// KRPs and value snapshots, so a plan retained in a shape-keyed workspace
+// across batch boundaries holds no caller factor memory but can still
+// serve the next batch through value-matched Lookups (sameBacking never
+// fires against a zero orig; matching falls through to the snapshot
+// comparison). Storage is plan-arena-owned, which is exactly the memory
+// the workspace contract lets a frame keep across Release.
+func (p *Plan) Detach() {
+	for i := range p.leftSrc {
+		p.leftSrc[i].orig = mat.View{}
+	}
+	for i := range p.rightSrc {
+		p.rightSrc[i].orig = mat.View{}
+	}
+}
+
+// Covers reports whether the filled plan's source operand lists match the
+// given left and right lists (by backing identity or snapshot value,
+// exactly as Lookup matches) — without counting a hit or serving a view.
+// The batch executor uses it to decide whether a retained plan makes the
+// next batch's Fill redundant.
+func (p *Plan) Covers(left, right []mat.View) bool {
+	return p.filled && sideCovers(left, p.leftSrc) && sideCovers(right, p.rightSrc)
+}
+
+func sideCovers(ops []mat.View, src []planSrc) bool {
+	if len(ops) == 0 {
+		return len(src) == 0
+	}
+	return matchSrc(ops, src)
+}
+
 // Reset drops the plan's sources and views so a cached plan does not
 // retain caller factor memory between batches. Counters and arena-backed
 // storage survive for reuse; the plan is empty (every Lookup misses) until

@@ -293,6 +293,20 @@ func TestCostModel(t *testing.T) {
 	if got := weightOf(0); got != 1 {
 		t.Fatalf("weightOf default = %g, want 1", got)
 	}
+
+	// The mapped model prices the resident working set, not the file
+	// extent: with a bounded tile budget it undercuts the dense model on a
+	// big shape, and degenerate budgets (0, or larger than the tensor)
+	// collapse to the dense estimate exactly.
+	dims := []int{256, 256, 256}
+	dense := m.MTTKRP(dims, 8)
+	mapped := m.MTTKRPMapped(dims, 8, 1<<20)
+	if mapped <= 0 || mapped >= dense {
+		t.Fatalf("MTTKRPMapped = %g, want 0 < mapped < dense %g (resident bytes, not file extent)", mapped, dense)
+	}
+	if m.MTTKRPMapped(dims, 8, 0) != dense || m.MTTKRPMapped(dims, 8, 1<<62) != dense {
+		t.Fatal("MTTKRPMapped degenerate budgets must collapse to the dense estimate")
+	}
 }
 
 // TestAdmissionEvenSplitBaseline pins that the EvenSplit policy keeps the

@@ -1,6 +1,9 @@
 package serve
 
-import "repro/internal/tensor"
+import (
+	"repro/internal/core"
+	"repro/internal/tensor"
+)
 
 // CostModel estimates the admission cost of a request from its problem
 // shape — the scalar the scheduler uses to weight worker budgets by cost
@@ -75,9 +78,36 @@ func (m CostModel) SparseMTTKRP(nnz int64, dims []int, rank int) float64 {
 	return fw*flops + bw*bytes
 }
 
+// MTTKRPMapped estimates the cost of one MTTKRP over a file-backed
+// (mmap'd) dense tensor streamed through row tiles. The flop term is the
+// dense model's — every element is still touched once per mode — but the
+// byte term prices the resident working set (one tile plus the factor and
+// output matrices) instead of the full file extent: a tensor far larger
+// than RAM does not hoard worker budget the way an equally-shaped
+// heap-resident request would, because its cache/memory pressure is
+// bounded by the tile budget. residentBytes ≤ 0 (or larger than the
+// tensor itself) falls back to the full dense estimate.
+func (m CostModel) MTTKRPMapped(dims []int, rank int, residentBytes int64) float64 {
+	fw, bw := m.weights()
+	entries, rows := 1.0, 0.0
+	for _, d := range dims {
+		entries *= float64(d)
+		rows += float64(d)
+	}
+	r := float64(rank)
+	resident := float64(residentBytes)
+	if resident <= 0 || resident > 8*entries {
+		resident = 8 * entries
+	}
+	return fw*2*entries*r + bw*(resident+8*2*rows*r)
+}
+
 // MTTKRPFor estimates one MTTKRP request's cost by the tensor's layout:
-// the dense shape model for dense tensors, the nnz-keyed model for sparse
-// ones. This is the dispatch point SubmitMTTKRP prices through.
+// the dense shape model for heap-resident dense tensors, the nnz-keyed
+// model for sparse ones, and the resident-byte model for mapped dense
+// tensors (which the scheduler streams through tiles of at most
+// core.DefaultTileBytes). This is the dispatch point SubmitMTTKRP prices
+// through.
 func (m CostModel) MTTKRPFor(x interface {
 	Dims() []int
 	NNZ() int64
@@ -85,6 +115,9 @@ func (m CostModel) MTTKRPFor(x interface {
 }, rank int) float64 {
 	if x.Layout() == tensor.LayoutCOO {
 		return m.SparseMTTKRP(x.NNZ(), x.Dims(), rank)
+	}
+	if d, ok := x.(interface{ Mapped() bool }); ok && d.Mapped() {
+		return m.MTTKRPMapped(x.Dims(), rank, core.DefaultTileBytes)
 	}
 	return m.MTTKRP(x.Dims(), rank)
 }

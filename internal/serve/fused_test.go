@@ -181,6 +181,99 @@ func TestFusedBatchMixedFactors(t *testing.T) {
 	}
 }
 
+// TestFusedAcrossBatches pins the plan-fingerprint LRU: two sequential
+// same-shape singleton batches (no intra-batch pair to fuse) fuse across
+// the batch boundary — the first records its fingerprint, the second
+// matches it and takes the fused path — and a third hits the plan the
+// shape's workspace retained from the second without refilling it
+// (PlanCacheHits), with every result bit-identical to the unfused kernel.
+func TestFusedAcrossBatches(t *testing.T) {
+	const width = 2
+	x, u := problem(27, 5, 13, 11, 9)
+	pool := parallel.NewPool(width)
+	defer pool.Close()
+	want := core.ComputeInto(mat.NewDense(x.Dim(1), 5), core.MethodAuto, x, u, 1, core.Options{Threads: width, Pool: pool})
+
+	s := New(Config{Workers: width, MaxActive: 1})
+	defer s.Close()
+	completed := 0
+	round := func(i int) mat.View {
+		t.Helper()
+		// Fresh factor buffers each round: the network path decodes each
+		// request into its own pooled slab, so cross-batch matching must
+		// work by value, never by pointer identity.
+		cu := make([]mat.View, len(u))
+		for j := range u {
+			cu[j] = u[j].Clone()
+		}
+		m, err := s.SubmitMTTKRP(MTTKRPRequest{X: x, Factors: cu, Mode: 1}).MTTKRP()
+		if err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+		// The ticket resolves inside batch execution, before the executor
+		// folds counters into stats; wait for the fold so the next round's
+		// assertions (and its plan-LRU lookup) see this batch recorded.
+		completed++
+		for deadline := time.Now().Add(5 * time.Second); s.Stats().Completed < completed; {
+			if time.Now().After(deadline) {
+				t.Fatalf("round %d: batch never completed", i)
+			}
+			time.Sleep(time.Millisecond)
+		}
+		return m
+	}
+
+	got1 := round(1)
+	st := s.Stats()
+	if st.Fused != 0 || st.PlanCacheHits != 0 {
+		t.Fatalf("stats %+v after round 1: a lone first batch has nothing to fuse with", st)
+	}
+	got2 := round(2)
+	st = s.Stats()
+	if st.Fused != 1 {
+		t.Fatalf("stats %+v after round 2: the second batch must fuse against the recorded fingerprint", st)
+	}
+	if st.PlanCacheHits != 0 {
+		t.Fatalf("stats %+v after round 2: the first fused batch fills the plan, it cannot hit it", st)
+	}
+	got3 := round(3)
+	st = s.Stats()
+	if st.Fused != 2 || st.PlanCacheHits != 1 {
+		t.Fatalf("stats %+v after round 3: the third batch must hit the retained plan without refilling", st)
+	}
+	if st.FusedSavedFlops <= 0 {
+		t.Fatalf("stats %+v: a cache-hit batch serves rows it never paid a fill for", st)
+	}
+	for i, m := range []mat.View{got1, got2, got3} {
+		bitsEqual(t, m, want, fmt.Sprintf("round %d", i+1))
+	}
+
+	// A different-valued factor set under the same shape key must not hit
+	// the stale plan: it misses by value, computes exactly, and replaces
+	// the recorded fingerprint.
+	_, u2 := problem(28, 5, 13, 11, 9)
+	cu := make([]mat.View, len(u2))
+	for j := range u2 {
+		cu[j] = u2[j].Clone()
+	}
+	m, err := s.SubmitMTTKRP(MTTKRPRequest{X: x, Factors: cu, Mode: 1}).MTTKRP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	completed++
+	for deadline := time.Now().Add(5 * time.Second); s.Stats().Completed < completed; {
+		if time.Now().After(deadline) {
+			t.Fatal("changed-factor batch never completed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	want2 := core.ComputeInto(mat.NewDense(x.Dim(1), 5), core.MethodAuto, x, u2, 1, core.Options{Threads: width, Pool: pool})
+	bitsEqual(t, m, want2, "changed factors")
+	if st := s.Stats(); st.PlanCacheHits != 1 {
+		t.Fatalf("stats %+v: changed factors hit a stale plan", st)
+	}
+}
+
 // TestFusedFallbackCounted pins the observability of a failed plan
 // build: factors that pass submit validation but fail kernel validation
 // panic inside FillPlan, the batch falls back to the unfused loop (where

@@ -96,6 +96,10 @@ type Stats struct {
 	Fused           int
 	FusedSavedFlops float64
 	FusedFallbacks  int
+	// PlanCacheHits counts batches served by a KRP plan retained from an
+	// earlier batch (same shape key, value-matching factor set): the plan
+	// crossed a batch boundary, so the batch skipped its fill entirely.
+	PlanCacheHits int
 	// Active and Queued describe the instant of the snapshot; PeakActive
 	// and PeakQueued are the high-water marks of concurrently executing
 	// batches and of the admission queue depth.
@@ -161,7 +165,9 @@ type Server struct {
 	open     map[string]*batch // same-shape batches still accepting joiners
 	queue    []*batch          // admission queue (aging-scored; FIFO under EvenSplit)
 	active   map[*batch]*grant
-	rate     float64 // EMA of served cost per second per request (ProjectedWait)
+	planFP   map[string]uint64 // shape key → factor fingerprint of its last batch (plan LRU)
+	planAge  []string          // planFP keys in recency order, oldest first
+	rate     float64           // EMA of served cost per second per request (ProjectedWait)
 	stats    Stats
 	draining bool
 	closed   bool
@@ -256,6 +262,7 @@ func New(cfg Config) *Server {
 		ageBias:    ageBias,
 		open:       make(map[string]*batch),
 		active:     make(map[*batch]*grant),
+		planFP:     make(map[string]uint64),
 		drained:    make(chan struct{}),
 	}
 }
@@ -587,9 +594,17 @@ func (s *Server) run(b *batch, g *grant) {
 		lease.SetWorkspaceKey("serve:" + b.key)
 	}
 	var fusedSaved float64
-	fused, fellBack := false, false
-	if seed := fuseSeed(b); seed != nil {
-		fusedSaved, fused = s.runFused(b, lease, seed)
+	fused, fellBack, cacheHit := false, false, false
+	seed := fuseSeed(b)
+	if seed == nil {
+		// No two members fingerprint alike, but the plan LRU may remember
+		// this shape from a previous batch: a member matching the retained
+		// fingerprint seeds the fused path, so consecutive same-shape
+		// batches fuse across batch boundaries.
+		seed = s.cachedSeed(b)
+	}
+	if seed != nil {
+		fusedSaved, cacheHit, fused = s.runFused(b, lease, seed)
 		fellBack = !fused
 	}
 	if !fused {
@@ -605,9 +620,17 @@ func (s *Server) run(b *batch, g *grant) {
 	if fused {
 		s.stats.Fused++
 		s.stats.FusedSavedFlops += fusedSaved
+		if cacheHit {
+			s.stats.PlanCacheHits++
+		}
 	}
 	if fellBack {
 		s.stats.FusedFallbacks++
+	}
+	if b.kind == "mttkrp" && b.key != "" && s.fusion {
+		if fp := batchFP(b, seed); fp != 0 {
+			s.recordPlanLocked(b.key, fp)
+		}
 	}
 	for _, it := range b.items {
 		s.stats.Completed++
@@ -643,28 +666,98 @@ func fuseSeed(b *batch) *item {
 	return nil
 }
 
+// planLRUCap bounds the plan-fingerprint LRU: how many shape keys the
+// scheduler remembers recent factor fingerprints for. It matches the
+// pool's keyed-workspace cap, since a fingerprint is only useful while
+// the workspace (and the detached plan inside it) for its shape survives.
+const planLRUCap = 32
+
+// batchFP picks the fingerprint run() records for a batch in the plan
+// LRU: the seed's when the batch fused, else the first fingerprintable
+// member's — the candidate the next same-shape batch would fuse with.
+func batchFP(b *batch, seed *item) uint64 {
+	if seed != nil {
+		return seed.fp
+	}
+	for _, it := range b.items {
+		if it.fp != 0 {
+			return it.fp
+		}
+	}
+	return 0
+}
+
+// cachedSeed returns a member whose fingerprint matches the plan LRU's
+// entry for the batch's shape key, if any — the trigger for cross-batch
+// fusion. nil when the shape is not remembered or no member matches.
+func (s *Server) cachedSeed(b *batch) *item {
+	if b.kind != "mttkrp" || b.key == "" || !s.fusion {
+		return nil
+	}
+	s.mu.Lock()
+	fp, ok := s.planFP[b.key]
+	s.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	for _, it := range b.items {
+		if it.fp == fp {
+			return it
+		}
+	}
+	return nil
+}
+
+// recordPlanLocked remembers key's most recent factor fingerprint,
+// evicting the least-recently-recorded shape at capacity. Callers hold
+// s.mu. Eviction needs no cleanup: the detached plan lives in the shape's
+// keyed workspace and is simply refilled if the shape returns.
+func (s *Server) recordPlanLocked(key string, fp uint64) {
+	if _, ok := s.planFP[key]; ok {
+		s.planFP[key] = fp
+		for i, k := range s.planAge {
+			if k == key {
+				s.planAge = append(append(s.planAge[:i], s.planAge[i+1:]...), key)
+				break
+			}
+		}
+		return
+	}
+	if len(s.planAge) >= planLRUCap {
+		delete(s.planFP, s.planAge[0])
+		s.planAge = s.planAge[1:]
+	}
+	s.planFP[key] = fp
+	s.planAge = append(s.planAge, key)
+}
+
 // newFusedPlanFrame builds the workspace-cached shared-KRP plan, so a
 // steady stream of same-shape fused batches refills one plan object with
 // arena-backed storage and allocates nothing.
 func newFusedPlanFrame() any { return new(krp.Plan) }
 
 // runFused executes a batch on a shared KRP plan seeded from one member's
-// factor set: fill once under the batch's lease, then run every member
-// against it — matching members hit, the rest miss and compute locally.
-// The saving is priced from the plan's own counters (rows served minus
-// the one formation the fill paid), so partially-matching batches are
-// priced by what the plan actually served. The plan workspace is held for
-// the whole batch (member kernels acquire their own from the same
-// shape-keyed list), and the plan is reset before release so no caller
-// factor memory is retained. Any panic while building the plan —
+// factor set: fill once under the batch's lease (or skip the fill when
+// the plan retained by the shape-keyed workspace from a previous batch
+// already covers the seed's factors — the cross-batch cache hit), then
+// run every member against it — matching members hit, the rest miss and
+// compute locally. The saving is priced from the plan's own counters
+// (rows served minus the one formation the fill paid; a cache hit pays
+// no fill), so partially-matching batches are priced by what the plan
+// actually served. The plan workspace is held for the whole batch
+// (member kernels acquire their own from the same shape-keyed list), and
+// the plan is detached — not reset — before release: its original caller
+// views are cleared so no request factor memory is retained, while the
+// filled KRPs and value snapshots (plan-arena-owned) survive to serve
+// the next same-shape batch. Any panic while building the plan —
 // malformed factors surface in krp/core validation — falls back to the
 // unfused member loop (counted as FusedFallbacks), where the same panic
 // is recovered into the offending tickets; no member has executed yet
 // when Fill can panic.
-func (s *Server) runFused(b *batch, lease *parallel.Lease, seed *item) (saved float64, ok bool) {
+func (s *Server) runFused(b *batch, lease *parallel.Lease, seed *item) (saved float64, cacheHit, ok bool) {
 	defer func() {
 		if r := recover(); r != nil {
-			saved, ok = 0, false
+			saved, cacheHit, ok = 0, false, false
 		}
 	}()
 	req := seed.mt
@@ -674,17 +767,23 @@ func (s *Server) runFused(b *batch, lease *parallel.Lease, seed *item) (saved fl
 	ws := lease.Acquire()
 	defer ws.Release()
 	plan := ws.Frame("serve.fusedplan", newFusedPlanFrame).(*krp.Plan)
-	defer plan.Reset()
+	defer plan.Detach()
 	served0 := plan.ServedRows()
-	core.FillPlan(plan, lease, ws, 0, xd, req.Factors, req.Mode)
+	fillPaid := int64(0)
+	if core.PlanCovers(plan, ws, xd, req.Factors, req.Mode) {
+		cacheHit = true
+	} else {
+		core.FillPlan(plan, lease, ws, 0, xd, req.Factors, req.Mode)
+		fillPaid = int64(plan.FilledRows())
+	}
 	for _, it := range b.items {
 		it.execute(lease, plan)
 	}
-	savedRows := plan.ServedRows() - served0 - int64(plan.FilledRows())
+	savedRows := plan.ServedRows() - served0 - fillPaid
 	if savedRows > 0 {
 		saved = float64(savedRows) * float64(req.Factors[0].C)
 	}
-	return saved, true
+	return saved, cacheHit, true
 }
 
 // observeRateLocked folds one completed batch into the served-cost-rate
@@ -755,6 +854,13 @@ func (it *item) execute(ex parallel.Executor, plan *krp.Plan) {
 		cr.Opts = core.Options{
 			Pool:        ex,
 			PhaseNotify: func() { parallel.Reconcile(ex) },
+		}
+		if xd, isDense := cr.X.(*tensor.Dense); isDense && xd.Mapped() {
+			// A file-backed tensor streams through bounded row tiles so
+			// its resident working set stays within the tile budget
+			// regardless of the file's extent (bit-identical to the
+			// untiled kernel; see core's tiled drivers).
+			cr.Opts.TileRows = core.AutoTileRows(xd.Dims(), cr.Mode, 0)
 		}
 		tk.m = core.RunWithPlan(cr, plan)
 	case it.cp != nil:

@@ -87,6 +87,34 @@ func (c *Client) MTTKRP(dst mat.View, x *tensor.Dense, factors []mat.View, mode 
 	return m, tm, nil
 }
 
+// MTTKRPByRef ships only the factor matrices plus a reference to a dense
+// tensor file the server can map from its own filesystem (wire version 3):
+// the tensor payload — by far the largest share of a dense request — never
+// crosses the wire, and the server's decode window shrinks to the factor
+// copy plus one mmap. The reference carries the file's identity (mtime,
+// size, header checksum from StatDense via RefFor), which the server
+// verifies before computing; a mismatch is a 409, an unreadable or
+// out-of-root path a 404. dims must match the file's header exactly.
+func (c *Client) MTTKRPByRef(dst mat.View, ref TensorRef, dims []int, factors []mat.View, mode int, method core.Method) (mat.View, Timing, error) {
+	if len(dims) == 0 || len(factors) != len(dims) {
+		return mat.View{}, Timing{}, fmt.Errorf("transport: %d factors for an order-%d tensor", len(factors), len(dims))
+	}
+	h := &Header{Op: OpMTTKRPByRef, Method: method, Mode: mode, Rank: factors[0].C, Dims: dims, Ref: ref}
+	start := time.Now()
+	resp, err := c.post("/v1/mttkrp-ref", h, nil, factors)
+	if err != nil {
+		return mat.View{}, Timing{}, err
+	}
+	defer resp.Body.Close()
+	tm := serverTiming(resp)
+	m, err := ReadMatrixInto(resp.Body, dst, MaxDim*MaxRank)
+	if err != nil {
+		return mat.View{}, Timing{}, err
+	}
+	tm.Total = time.Since(start)
+	return m, tm, nil
+}
+
 // SparseMTTKRP ships a sparse tensor (COO coordinates and values at wire
 // version 2) and its factors to the server and returns the I_n × C
 // result. A non-zero dst receives the result without allocating; factor k

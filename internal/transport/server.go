@@ -10,12 +10,15 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"slices"
 	"strconv"
 	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/cpd"
 	"repro/internal/mat"
 	"repro/internal/serve"
@@ -31,6 +34,13 @@ type Config struct {
 	Quota QuotaConfig
 	// MaxPayloadBytes caps one request's decoded payload; 0 selects 1 GiB.
 	MaxPayloadBytes int64
+	// TensorRoot, when non-empty, enables by-reference requests
+	// (/v1/mttkrp-ref): request paths resolve inside this directory only.
+	// Paths with ".." or absolute components are rejected outright, and
+	// symlinks are resolved before the containment check, so a link
+	// pointing outside the root cannot smuggle a file in. Empty disables
+	// the endpoint (404).
+	TensorRoot string
 	// CPIters is the sweep budget applied to CP requests that leave Iters
 	// zero; 0 selects 10.
 	CPIters int
@@ -58,6 +68,11 @@ type Stats struct {
 	// ShedRejected counts requests refused because their projected
 	// admission wait exceeded Config.MaxQueueDelay (429 with Retry-After).
 	ShedRejected int64 `json:"shed_rejected"`
+	// ByRefRequests counts by-reference MTTKRP requests; RefRejected the
+	// subset refused because the referenced file was unreadable or outside
+	// the tensor root (404) or its identity no longer matched (409).
+	ByRefRequests int64 `json:"byref_requests"`
+	RefRejected   int64 `json:"ref_rejected"`
 	// BytesIn / BytesOut count payload (not HTTP framing) bytes.
 	BytesIn  int64 `json:"bytes_in"`
 	BytesOut int64 `json:"bytes_out"`
@@ -87,6 +102,7 @@ type Server struct {
 
 	requests, quotaRejected, drainRejected atomic.Int64
 	badRequests, failed, shedRejected      atomic.Int64
+	byRefRequests, refRejected             atomic.Int64
 	bytesIn, bytesOut                      atomic.Int64
 	decodeNs, computeNs                    atomic.Int64
 }
@@ -127,6 +143,8 @@ func (s *Server) Stats() Stats {
 		BadRequests:   s.badRequests.Load(),
 		Failed:        s.failed.Load(),
 		ShedRejected:  s.shedRejected.Load(),
+		ByRefRequests: s.byRefRequests.Load(),
+		RefRejected:   s.refRejected.Load(),
 		BytesIn:       s.bytesIn.Load(),
 		BytesOut:      s.bytesOut.Load(),
 		DecodeNs:      s.decodeNs.Load(),
@@ -148,6 +166,9 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("POST /v1/cp", func(w http.ResponseWriter, r *http.Request) {
 		s.handleCompute(w, r, OpCP)
+	})
+	mux.HandleFunc("POST /v1/mttkrp-ref", func(w http.ResponseWriter, r *http.Request) {
+		s.handleCompute(w, r, OpMTTKRPByRef)
 	})
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -332,6 +353,10 @@ func (s *Server) admission(w http.ResponseWriter, r *http.Request, h *Header) (c
 		// so a sparse request's admission cost scales with its stored
 		// entries, not its dense shape.
 		estimate = model.SparseMTTKRP(h.NNZ, h.Dims, h.Rank)
+	case OpMTTKRPByRef:
+		// A mapped tensor streams through bounded tiles: the byte term
+		// prices the resident working set, not the full file extent.
+		estimate = model.MTTKRPMapped(h.Dims, h.Rank, core.DefaultTileBytes)
 	default:
 		estimate = model.MTTKRP(h.Dims, h.Rank)
 	}
@@ -443,12 +468,26 @@ func (s *Server) handleCompute(w http.ResponseWriter, r *http.Request, wantOp Op
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	if h.byRef() {
+		// Resolve the reference against the tensor root: the mapped file
+		// replaces the wire tensor. Open + identity check count as decode
+		// time — they are this path's whole ingestion cost.
+		s.byRefRequests.Add(1)
+		m, status, rerr := s.resolveRef(&h.Ref, h.Dims)
+		if rerr != nil {
+			s.refRejected.Add(1)
+			http.Error(w, rerr.Error(), status)
+			return
+		}
+		defer m.Close()
+		x = m.Dense
+	}
 	decode := time.Since(t0)
 	s.bytesIn.Add(payload)
 	s.decodeNs.Add(decode.Nanoseconds())
 
 	switch h.Op {
-	case OpMTTKRP, OpSparseMTTKRP:
+	case OpMTTKRP, OpSparseMTTKRP, OpMTTKRPByRef:
 		rows := h.Dims[h.Mode]
 		dstBuf := s.dsts.get(rows * h.Rank)
 		defer s.dsts.put(dstBuf)
@@ -498,6 +537,57 @@ func (s *Server) handleCompute(w http.ResponseWriter, r *http.Request, wantOp Op
 			return
 		}
 	}
+}
+
+// resolveRef maps the tensor file a by-reference request names, enforcing
+// the tensor-root sandbox and the identity the client declared. The
+// returned status is the HTTP code to fail with when err is non-nil: 404
+// for anything unreadable or outside the root (indistinguishable by
+// design — probing the filesystem through error codes stays blind), 400
+// for structurally illegal paths, 409 when the file exists but is no
+// longer the version the client observed.
+func (s *Server) resolveRef(ref *TensorRef, dims []int) (*tensor.Map, int, error) {
+	if s.cfg.TensorRoot == "" {
+		return nil, http.StatusNotFound, errors.New("transport: by-reference requests disabled (no tensor root configured)")
+	}
+	p := filepath.FromSlash(ref.Path)
+	if !filepath.IsLocal(p) {
+		return nil, http.StatusBadRequest, fmt.Errorf("transport: ref path %q escapes the tensor root", ref.Path)
+	}
+	root, err := filepath.EvalSymlinks(s.cfg.TensorRoot)
+	if err != nil {
+		return nil, http.StatusNotFound, errors.New("transport: tensor root unavailable")
+	}
+	// Resolve symlinks before the containment check: a link inside the
+	// root pointing outside it must be caught by where it lands, not by
+	// where it lives.
+	resolved, err := filepath.EvalSymlinks(filepath.Join(root, p))
+	if err != nil {
+		return nil, http.StatusNotFound, fmt.Errorf("transport: tensor file %q unreadable", ref.Path)
+	}
+	if rel, err := filepath.Rel(root, resolved); err != nil || rel == ".." || strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+		return nil, http.StatusBadRequest, fmt.Errorf("transport: ref path %q resolves outside the tensor root", ref.Path)
+	}
+	if fi, err := os.Stat(resolved); err != nil || !fi.Mode().IsRegular() {
+		return nil, http.StatusNotFound, fmt.Errorf("transport: tensor file %q unreadable", ref.Path)
+	}
+	m, err := tensor.OpenDense(resolved)
+	if err != nil {
+		return nil, http.StatusNotFound, fmt.Errorf("transport: tensor file %q unreadable", ref.Path)
+	}
+	if m.ModTime().UnixNano() != ref.MTime || m.FileSize() != ref.Size || m.Checksum() != ref.Checksum {
+		m.Close()
+		return nil, http.StatusConflict, fmt.Errorf("transport: tensor file %q changed since the client observed it", ref.Path)
+	}
+	if !slices.Equal(m.Dims(), dims) {
+		m.Close()
+		return nil, http.StatusConflict, fmt.Errorf("transport: tensor file %q is shaped %v, request declares %v", ref.Path, m.Dims(), dims)
+	}
+	if m.Stale() {
+		m.Close()
+		return nil, http.StatusConflict, fmt.Errorf("transport: tensor file %q changed after map", ref.Path)
+	}
+	return m, 0, nil
 }
 
 // failComputeError maps a scheduler/kernel error onto an HTTP status: a

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/cpd"
@@ -39,6 +40,13 @@ const (
 	// COO coordinates and values instead of a dense linearization. A v1
 	// reader rejects it by version before touching the payload.
 	OpSparseMTTKRP Op = 3
+	// OpMTTKRPByRef is the wire-v3 by-reference request: instead of the
+	// tensor's float payload, the header carries a path (relative to the
+	// server's tensor root) plus the file identity the client observed —
+	// mtime, size and header checksum — and only the factor matrices ride
+	// the wire. The server maps the file, revalidates the identity (409 on
+	// mismatch) and streams the kernel through row tiles of the mapping.
+	OpMTTKRPByRef Op = 4
 )
 
 // Wire-format constants. The magic doubles as an endianness check: a
@@ -52,6 +60,12 @@ const (
 	// count after the dimension list (dense ops are byte-identical to
 	// v1, and readers accept both versions).
 	wireVersionSparse uint8 = 2
+	// wireVersionByRef is the version by-reference requests are written
+	// at. Version 3 extends v2 by one rule: by-ref ops append a tensor
+	// reference block after the dimension list — mtime (int64), size
+	// (int64), header checksum (uint64), then the path as a uint16 length
+	// plus bytes. All other ops are byte-identical to their v1/v2 forms.
+	wireVersionByRef uint8 = 3
 
 	// fixedHeaderLen is the byte length of the header before the
 	// dimension list: magic(4) version(1) op(1) method(1) ndims(1)
@@ -70,7 +84,35 @@ const (
 	MaxRank = 1 << 12
 	// MaxIters bounds requested CP sweeps.
 	MaxIters = 1 << 10
+	// MaxRefPath bounds the path length of a by-reference request.
+	MaxRefPath = 1 << 10
 )
+
+// TensorRef identifies a server-resident tensor file for a by-reference
+// request: a slash-separated path relative to the server's tensor root,
+// plus the file identity (mtime in unix nanoseconds, byte size, and the
+// FNV-1a checksum of the file's header section) the client observed. The
+// server refuses to compute against a file whose identity no longer
+// matches — the tensor changed under the client — with 409 Conflict.
+type TensorRef struct {
+	Path     string
+	MTime    int64
+	Size     int64
+	Checksum uint64
+}
+
+// RefFor builds the reference a client ships for the tensor file whose
+// identity info describes, naming it path relative to the server's tensor
+// root (slash-separated). Pair it with tensor.StatDense, which reads the
+// identity without touching the data section.
+func RefFor(info *tensor.DenseFileInfo, path string) TensorRef {
+	return TensorRef{
+		Path:     path,
+		MTime:    info.ModTime.UnixNano(),
+		Size:     info.Size,
+		Checksum: info.Checksum,
+	}
+}
 
 // ErrPayloadTooLarge reports a structurally valid request whose payload
 // exceeds the listener's configured ceiling; servers map it to HTTP 413.
@@ -99,10 +141,21 @@ type Header struct {
 	// only; encoded as a uint64 after the dimension list at wire version
 	// 2). Dense ops leave it 0 and omit the field.
 	NNZ int64
+	// Ref names the server-resident tensor of a by-reference request
+	// (OpMTTKRPByRef only; encoded after the dimension list at wire
+	// version 3). Other ops leave it zero and omit the block.
+	Ref TensorRef
 }
 
 // sparse reports whether the request carries a COO payload.
 func (h *Header) sparse() bool { return h.Op == OpSparseMTTKRP }
+
+// byRef reports whether the request's tensor stays server-side.
+func (h *Header) byRef() bool { return h.Op == OpMTTKRPByRef }
+
+// refWireLen is the encoded length of the reference block: mtime(8) +
+// size(8) + checksum(8) + pathLen(2) + path bytes.
+func (h *Header) refWireLen() int { return 26 + len(h.Ref.Path) }
 
 // TensorElems returns the entry count of the request tensor.
 func (h *Header) TensorElems() int {
@@ -118,7 +171,7 @@ func (h *Header) TensorElems() int {
 // factor per mode; CP requests carry none — the server initializes from
 // Seed).
 func (h *Header) FactorElems() int {
-	if h.Op != OpMTTKRP && h.Op != OpSparseMTTKRP {
+	if h.Op != OpMTTKRP && h.Op != OpSparseMTTKRP && h.Op != OpMTTKRPByRef {
 		return 0
 	}
 	n := 0
@@ -135,6 +188,10 @@ func (h *Header) FactorElems() int {
 func (h *Header) PayloadFloats() int {
 	if h.sparse() {
 		return int(h.NNZ) + h.FactorElems()
+	}
+	if h.byRef() {
+		// The tensor stays server-side; only the factors cross the wire.
+		return h.FactorElems()
 	}
 	return h.TensorElems() + h.FactorElems()
 }
@@ -160,6 +217,9 @@ func (h *Header) WireSize() int64 {
 	if h.sparse() {
 		n += 8 // the nnz field
 	}
+	if h.byRef() {
+		n += int64(h.refWireLen())
+	}
 	return n + h.PayloadBytes()
 }
 
@@ -181,6 +241,11 @@ func (h *Header) checkedPayloadFloats() (int64, error) {
 		elems *= int64(d)
 	}
 	floats := elems
+	if h.byRef() {
+		// The dims bound above still guards the mapped tensor's extent;
+		// the wire payload itself carries no tensor floats.
+		floats = 0
+	}
 	if h.sparse() {
 		// A canonical COO payload is sorted and deduped, so its entry
 		// count never exceeds the shape's capacity; a header claiming
@@ -191,7 +256,7 @@ func (h *Header) checkedPayloadFloats() (int64, error) {
 		}
 		floats = h.NNZ
 	}
-	if h.Op == OpMTTKRP || h.Op == OpSparseMTTKRP {
+	if h.Op == OpMTTKRP || h.Op == OpSparseMTTKRP || h.Op == OpMTTKRPByRef {
 		// Each term is ≤ 2^20 · 2^12 under the per-field bounds; eight of
 		// them cannot overflow alongside elems ≤ 2^50.
 		for _, d := range h.Dims {
@@ -211,8 +276,16 @@ func (h *Header) checkedPayloadFloats() (int64, error) {
 // only meaningful on a validated header — Validate is where overflow is
 // ruled out.
 func (h *Header) Validate(maxPayloadBytes int64) error {
-	if h.Op != OpMTTKRP && h.Op != OpCP && h.Op != OpSparseMTTKRP {
+	if h.Op != OpMTTKRP && h.Op != OpCP && h.Op != OpSparseMTTKRP && h.Op != OpMTTKRPByRef {
 		return fmt.Errorf("transport: unknown op %d", h.Op)
+	}
+	if h.byRef() {
+		if h.Ref.Path == "" || len(h.Ref.Path) > MaxRefPath {
+			return fmt.Errorf("transport: ref path length %d, want 1..%d", len(h.Ref.Path), MaxRefPath)
+		}
+		if strings.ContainsRune(h.Ref.Path, 0) {
+			return fmt.Errorf("transport: ref path contains NUL")
+		}
 	}
 	if h.Method < core.MethodAuto || h.Method > core.MethodReorder {
 		return fmt.Errorf("transport: unknown method %d", h.Method)
@@ -228,7 +301,7 @@ func (h *Header) Validate(maxPayloadBytes int64) error {
 	if h.Rank < 1 || h.Rank > MaxRank {
 		return fmt.Errorf("transport: rank %d, want 1..%d", h.Rank, MaxRank)
 	}
-	if (h.Op == OpMTTKRP || h.Op == OpSparseMTTKRP) && (h.Mode < 0 || h.Mode >= len(h.Dims)) {
+	if (h.Op == OpMTTKRP || h.Op == OpSparseMTTKRP || h.Op == OpMTTKRPByRef) && (h.Mode < 0 || h.Mode >= len(h.Dims)) {
 		return fmt.Errorf("transport: mode %d out of range [0,%d)", h.Mode, len(h.Dims))
 	}
 	if h.Iters < 0 || h.Iters > MaxIters {
@@ -261,6 +334,10 @@ func WriteHeader(w io.Writer, h *Header) error {
 		ver = wireVersionSparse
 		n += 8
 	}
+	if h.byRef() {
+		ver = wireVersionByRef
+		n += h.refWireLen()
+	}
 	buf := make([]byte, n)
 	binary.LittleEndian.PutUint32(buf[0:], wireMagic)
 	buf[4] = ver
@@ -277,6 +354,14 @@ func WriteHeader(w io.Writer, h *Header) error {
 	if h.sparse() {
 		binary.LittleEndian.PutUint64(buf[fixedHeaderLen+4*len(h.Dims):], uint64(h.NNZ))
 	}
+	if h.byRef() {
+		off := fixedHeaderLen + 4*len(h.Dims)
+		binary.LittleEndian.PutUint64(buf[off:], uint64(h.Ref.MTime))
+		binary.LittleEndian.PutUint64(buf[off+8:], uint64(h.Ref.Size))
+		binary.LittleEndian.PutUint64(buf[off+16:], h.Ref.Checksum)
+		binary.LittleEndian.PutUint16(buf[off+24:], uint16(len(h.Ref.Path)))
+		copy(buf[off+26:], h.Ref.Path)
+	}
 	_, err := w.Write(buf)
 	return err
 }
@@ -292,8 +377,8 @@ func ReadHeader(r io.Reader) (*Header, error) {
 	if got := binary.LittleEndian.Uint32(fixed[0:]); got != wireMagic {
 		return nil, fmt.Errorf("transport: bad magic %#x (not a wire request, or big-endian writer)", got)
 	}
-	if fixed[4] != wireVersion && fixed[4] != wireVersionSparse {
-		return nil, fmt.Errorf("transport: wire version %d, want %d or %d", fixed[4], wireVersion, wireVersionSparse)
+	if fixed[4] != wireVersion && fixed[4] != wireVersionSparse && fixed[4] != wireVersionByRef {
+		return nil, fmt.Errorf("transport: wire version %d, want %d..%d", fixed[4], wireVersion, wireVersionByRef)
 	}
 	ndims := int(fixed[7])
 	if ndims < 2 || ndims > MaxDims {
@@ -311,6 +396,9 @@ func ReadHeader(r io.Reader) (*Header, error) {
 	if h.sparse() && fixed[4] < wireVersionSparse {
 		return nil, fmt.Errorf("transport: sparse op requires wire version %d, got %d", wireVersionSparse, fixed[4])
 	}
+	if h.byRef() && fixed[4] < wireVersionByRef {
+		return nil, fmt.Errorf("transport: by-ref op requires wire version %d, got %d", wireVersionByRef, fixed[4])
+	}
 	dims := make([]byte, 4*ndims)
 	if _, err := io.ReadFull(r, dims); err != nil {
 		return nil, fmt.Errorf("transport: short dims: %w", err)
@@ -327,6 +415,24 @@ func ReadHeader(r io.Reader) (*Header, error) {
 		if h.NNZ < 0 {
 			return nil, fmt.Errorf("transport: implausible nnz %d", h.NNZ)
 		}
+	}
+	if h.byRef() {
+		var rb [26]byte
+		if _, err := io.ReadFull(r, rb[:]); err != nil {
+			return nil, fmt.Errorf("transport: short tensor ref: %w", err)
+		}
+		h.Ref.MTime = int64(binary.LittleEndian.Uint64(rb[0:]))
+		h.Ref.Size = int64(binary.LittleEndian.Uint64(rb[8:]))
+		h.Ref.Checksum = binary.LittleEndian.Uint64(rb[16:])
+		plen := int(binary.LittleEndian.Uint16(rb[24:]))
+		if plen == 0 || plen > MaxRefPath {
+			return nil, fmt.Errorf("transport: ref path length %d, want 1..%d", plen, MaxRefPath)
+		}
+		path := make([]byte, plen)
+		if _, err := io.ReadFull(r, path); err != nil {
+			return nil, fmt.Errorf("transport: short ref path: %w", err)
+		}
+		h.Ref.Path = string(path)
 	}
 	return h, nil
 }
@@ -377,9 +483,10 @@ func readFloats(r io.Reader, dst []float64, scratch []byte) error {
 	return nil
 }
 
-// WriteRequest streams one complete request — header, tensor, and (for
-// MTTKRP) the factor matrices — to w. Factor k must be I_k × C; strided
-// views are serialized row-contiguously.
+// WriteRequest streams one complete request — header, tensor (omitted for
+// by-reference ops, which may pass a nil x), and (for MTTKRP) the factor
+// matrices — to w. Factor k must be I_k × C; strided views are serialized
+// row-contiguously.
 func WriteRequest(w io.Writer, h *Header, x *tensor.Dense, factors []mat.View) error {
 	if err := h.Validate(0); err != nil {
 		return err
@@ -388,15 +495,17 @@ func WriteRequest(w io.Writer, h *Header, x *tensor.Dense, factors []mat.View) e
 		return err
 	}
 	scratch := make([]byte, scratchBytes)
-	if err := writeFloats(w, x.Data(), scratch); err != nil {
-		return err
+	if !h.byRef() {
+		if err := writeFloats(w, x.Data(), scratch); err != nil {
+			return err
+		}
 	}
-	if h.Op != OpMTTKRP {
+	if h.Op != OpMTTKRP && h.Op != OpMTTKRPByRef {
 		return nil
 	}
 	for k, u := range factors {
-		if u.R != x.Dim(k) || u.C != h.Rank {
-			return fmt.Errorf("transport: factor %d is %dx%d, want %dx%d", k, u.R, u.C, x.Dim(k), h.Rank)
+		if u.R != h.Dims[k] || u.C != h.Rank {
+			return fmt.Errorf("transport: factor %d is %dx%d, want %dx%d", k, u.R, u.C, h.Dims[k], h.Rank)
 		}
 		if u.IsRowMajor() {
 			if err := writeFloats(w, u.Data[:u.R*u.C], scratch); err != nil {
@@ -421,7 +530,9 @@ func WriteRequest(w io.Writer, h *Header, x *tensor.Dense, factors []mat.View) e
 // (length ≥ h.PayloadFloats()) and returns the tensor and factor views
 // aliasing it. The caller owns buf and must keep it live until the
 // computation completes — this is the zero-copy step that lets the server
-// decode into a pooled buffer.
+// decode into a pooled buffer. By-reference requests carry no tensor
+// floats; the returned tensor is nil and the caller resolves h.Ref
+// against its tensor root instead.
 func DecodeRequest(r io.Reader, h *Header, buf []float64, scratch []byte) (*tensor.Dense, []mat.View, error) {
 	need := h.PayloadFloats()
 	if len(buf) < need {
@@ -430,12 +541,16 @@ func DecodeRequest(r io.Reader, h *Header, buf []float64, scratch []byte) (*tens
 	if err := readFloats(r, buf[:need], scratch); err != nil {
 		return nil, nil, err
 	}
-	x := tensor.FromData(buf[:h.TensorElems()], h.Dims...)
-	if h.Op != OpMTTKRP {
+	var x *tensor.Dense
+	off := 0
+	if !h.byRef() {
+		x = tensor.FromData(buf[:h.TensorElems()], h.Dims...)
+		off = h.TensorElems()
+	}
+	if h.Op != OpMTTKRP && h.Op != OpMTTKRPByRef {
 		return x, nil, nil
 	}
 	factors := make([]mat.View, len(h.Dims))
-	off := h.TensorElems()
 	for k, d := range h.Dims {
 		factors[k] = mat.FromRowMajor(buf[off:off+d*h.Rank], d, h.Rank)
 		off += d * h.Rank

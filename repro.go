@@ -329,6 +329,61 @@ func NVecsInit(t int, x *Tensor, rank int, seed int64) *KTensor {
 	return cpd.NVecsInit(t, x, rank, seed)
 }
 
+// MappedTensor is a file-backed dense tensor: its data slab is a read-only
+// mapping of a mappable tensor file (see OpenDenseFile), valid until Close.
+// The MTTKRP kernels stream a mapped tensor through bounded row tiles, so
+// tensors far larger than RAM compute with bit-identical results.
+type MappedTensor = tensor.Map
+
+// DenseFileInfo is the identity of a mappable tensor file (shape, mtime,
+// size, header checksum) as read by StatDenseFile — what a by-reference
+// client ships instead of the payload.
+type DenseFileInfo = tensor.DenseFileInfo
+
+// WriteDenseFile writes d to path in the mappable on-disk format (page-
+// aligned data section; see DESIGN.md §14); it round-trips through
+// OpenDenseFile.
+func WriteDenseFile(path string, d *Dense) error { return tensor.WriteDenseFile(path, d) }
+
+// CreateDenseFile writes an all-zero mappable tensor of the given dims as
+// a sparse file: the data section is truncated into existence without
+// writing its pages, so out-of-core experiments can create tensors far
+// larger than RAM (or disk) instantly.
+func CreateDenseFile(path string, dims []int) error { return tensor.CreateDenseFile(path, dims) }
+
+// OpenDenseFile maps a mappable tensor file read-only and returns the
+// file-backed tensor. Close it when done.
+func OpenDenseFile(path string) (*MappedTensor, error) { return tensor.OpenDense(path) }
+
+// AutoTileRows returns the MTTKRPOptions.TileRows value that keeps a
+// mode-n MTTKRP's resident tensor working set within budgetBytes
+// (DefaultTileBytes when ≤ 0), or 0 — untiled — when the whole tensor
+// already fits. Pair it with OpenDenseFile to stream tensors larger
+// than RAM with bit-identical results.
+func AutoTileRows(dims []int, n int, budgetBytes int64) int {
+	return core.AutoTileRows(dims, n, budgetBytes)
+}
+
+// DefaultTileBytes is the tile byte budget AutoTileRows assumes when the
+// caller does not pick one.
+const DefaultTileBytes = core.DefaultTileBytes
+
+// StatDenseFile reads a mappable tensor file's shape and identity without
+// touching its data section — the cheap way to build a TensorRef.
+func StatDenseFile(path string) (*DenseFileInfo, error) { return tensor.StatDense(path) }
+
+// TensorRef names a server-resident tensor file for a by-reference MTTKRP
+// request (Client.MTTKRPByRef): a path relative to the server's TensorRoot
+// plus the file identity the client observed, which the server revalidates
+// before computing (409 on drift).
+type TensorRef = transport.TensorRef
+
+// TensorRefFor builds the TensorRef a client ships for the file info
+// describes, naming it path relative to the server's tensor root.
+func TensorRefFor(info *DenseFileInfo, path string) TensorRef {
+	return transport.RefFor(info, path)
+}
+
 // LoadTensor reads a tensor of either layout, sniffing the file format:
 // the dense binary format written by (*Dense).Save, or text COO triples
 // (one "coord... value" line per entry, 1-based coordinates — the
