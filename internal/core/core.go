@@ -114,6 +114,17 @@ type Options struct {
 	// tiling; MethodReorder and MethodNaive ignore it.
 	TileRows int
 
+	// DropBehind, when set with TileRows on a mapped tensor, advises the
+	// OS (MADV_DONTNEED) that each tile's source pages are disposable as
+	// soon as the tile has been consumed, so a single-pass scan's resident
+	// set stays near one tile instead of growing to the whole slab. Pages
+	// are re-faulted from the page cache or disk if touched again, so the
+	// hint is opt-in: callers that re-run kernels over the same mapping
+	// (for example CP-ALS sweeps or the serving map cache) should leave it
+	// off and let the OS keep warm pages. No effect on heap tensors or
+	// untiled calls; results are bit-identical either way.
+	DropBehind bool
+
 	// plan, when non-nil, is a prebuilt shared Khatri-Rao intermediate the
 	// kernels may consume instead of recomputing their partial KRPs (batch
 	// fusion; set via ComputeIntoWithPlan, which documents the contract).

@@ -172,6 +172,9 @@ func tiledInto(dst mat.View, x *tensor.Dense, u []mat.View, n int, opts Options,
 		f.x.Reslice(tile, f.dims)
 		f.u[n] = u[n].Slice(r0, r1, 0, c)
 		inner(dst.Slice(r0, r1, 0, c), f.x, f.u, n, innerOpts)
+		if opts.DropBehind {
+			dropTile(x, il, in, ir, r0, r1)
+		}
 		r0 = r1
 	}
 	f.release()
@@ -196,5 +199,26 @@ func adviseTile(x *tensor.Dense, il, in, ir, r0, r1 int) {
 	for r := 0; r < ir; r++ {
 		lo := (r*in + r0) * il
 		x.AdviseWillNeed(lo, lo+(r1-r0)*il)
+	}
+}
+
+// dropTile releases the pages backing the consumed tile [r0, r1) of a
+// mapped tensor (Options.DropBehind). Same run structure and syscall-cost
+// cutoff as adviseTile; the advice layer trims each run inward to whole
+// pages so a boundary page shared with the next tile survives.
+func dropTile(x *tensor.Dense, il, in, ir, r0, r1 int) {
+	if !x.Mapped() {
+		return
+	}
+	if ir == 1 {
+		x.DropBehind(r0*il, r1*il)
+		return
+	}
+	if ir > 64 {
+		return // runs too small and many for per-run syscalls
+	}
+	for r := 0; r < ir; r++ {
+		lo := (r*in + r0) * il
+		x.DropBehind(lo, lo+(r1-r0)*il)
 	}
 }

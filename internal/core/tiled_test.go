@@ -200,3 +200,43 @@ func BenchmarkTiledMTTKRP(b *testing.B) {
 		}
 	}
 }
+
+// TestTiledDropBehindBitIdentical runs the streamed kernels with
+// drop-behind advice on a mapped tensor and pins two properties: results
+// are bit-identical to the untiled heap run (the advice is invisible to
+// arithmetic), and a second pass over the same mapping — the pattern the
+// knob's documentation warns is advice-defeating but must stay correct —
+// re-faults the dropped pages to the same bits.
+func TestTiledDropBehindBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	heap := tensor.Random(rng, 24, 18, 20)
+	path := filepath.Join(t.TempDir(), "drop.dsnt")
+	if err := tensor.WriteDenseFile(path, heap); err != nil {
+		t.Fatalf("WriteDenseFile: %v", err)
+	}
+	m, err := tensor.OpenDense(path)
+	if err != nil {
+		t.Fatalf("OpenDense: %v", err)
+	}
+	defer m.Close()
+
+	const c = 6
+	u := make([]mat.View, heap.Order())
+	for k := range u {
+		u[k] = mat.RandomDense(heap.Dim(k), c, rng)
+	}
+	pool := parallel.NewPool(3)
+	defer pool.Close()
+
+	for n := 0; n < heap.Order(); n++ {
+		tile := AutoTileRows(heap.Dims(), n, 16<<10)
+		for _, method := range []Method{MethodOneStep, MethodTwoStep} {
+			want := Compute(method, heap, u, n, Options{Threads: 3, Pool: pool})
+			opts := Options{Threads: 3, Pool: pool, TileRows: tile, DropBehind: true}
+			for pass := 0; pass < 2; pass++ {
+				got := ComputeInto(mat.NewDense(heap.Dim(n), c), method, m.Dense, u, n, opts)
+				bitsEqual(t, got, want, "drop-behind vs untiled")
+			}
+		}
+	}
+}

@@ -1,0 +1,62 @@
+//go:build linux
+
+package parallel
+
+import (
+	"runtime"
+	"syscall"
+	"unsafe"
+)
+
+// cpuSetWords sizes the affinity bitmask for kernels up to 1024 CPUs
+// (glibc's CPU_SETSIZE); machines beyond that simply leave higher CPUs
+// unpinnable, which placement treats as best-effort anyway.
+const cpuSetWords = 16
+
+// pinThread binds the calling goroutine's OS thread to the given CPU set.
+// On success the goroutine is left locked to its (now pinned) thread and
+// true is returned; the lock lasts for the goroutine's lifetime, so the
+// thread dies with the worker instead of returning to the scheduler pinned.
+// Failure — an empty set, CPUs the machine does not have (synthetic test
+// topologies), or a sandbox refusing sched_setaffinity — leaves the thread
+// unlocked and unpinned: placement degrades to advisory, never breaks.
+func pinThread(cpus []int) bool {
+	var mask [cpuSetWords]uint64
+	n := 0
+	for _, c := range cpus {
+		if c >= 0 && c < cpuSetWords*64 {
+			mask[c/64] |= 1 << (c % 64)
+			n++
+		}
+	}
+	if n == 0 {
+		return false
+	}
+	runtime.LockOSThread()
+	_, _, errno := syscall.RawSyscall(syscall.SYS_SCHED_SETAFFINITY, 0, unsafe.Sizeof(mask), uintptr(unsafe.Pointer(&mask)))
+	if errno != 0 {
+		runtime.UnlockOSThread()
+		return false
+	}
+	return true
+}
+
+// threadAffinity reports the CPU ids the calling thread may run on, or nil
+// if the affinity mask cannot be read. Tests use it to verify that placed
+// workers actually landed inside their domain.
+func threadAffinity() []int {
+	var mask [cpuSetWords]uint64
+	_, _, errno := syscall.RawSyscall(syscall.SYS_SCHED_GETAFFINITY, 0, unsafe.Sizeof(mask), uintptr(unsafe.Pointer(&mask)))
+	if errno != 0 {
+		return nil
+	}
+	var cpus []int
+	for w, bits := range mask {
+		for b := 0; bits != 0; b, bits = b+1, bits>>1 {
+			if bits&1 != 0 {
+				cpus = append(cpus, w*64+b)
+			}
+		}
+	}
+	return cpus
+}

@@ -1,0 +1,10 @@
+//go:build !linux
+
+package parallel
+
+// pinThread is a no-op off linux: placement still steers slot choice and
+// first-touch, but workers float wherever the OS schedules them.
+func pinThread(cpus []int) bool { return false }
+
+// threadAffinity is unavailable off linux.
+func threadAffinity() []int { return nil }

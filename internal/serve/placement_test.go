@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cpd"
+	"repro/internal/mat"
+	"repro/internal/parallel"
+	"repro/internal/tensor"
+)
+
+// bandwidthHeavy is a cost model whose spill factor is large enough that
+// the scheduler packs any budget wider than one domain: with the byte
+// term dominating and a 4× cross-domain penalty, SpillFactor approaches
+// 4, far above the width gain of spilling on the small test topologies.
+var bandwidthHeavy = CostModel{ByteWeight: 16, CrossDomainPenalty: 4}
+
+// TestPlacementBitIdentical is the -numa=on vs off property test:
+// identical request streams against a placed and a flat server — same
+// team width, same cost model — must produce math.Float64bits-identical
+// MTTKRP and CP results across methods × modes × widths, including
+// widths where the placed scheduler packs the grant into one domain.
+func TestPlacementBitIdentical(t *testing.T) {
+	topo, err := parallel.ParseTopology("0-1;2-3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	x1, u1 := problem(11, 6, 12, 10, 8)
+	x2, u2 := problem(12, 5, 7, 9, 6, 5)
+
+	for _, workers := range []int{2, 4, 5} {
+		flat := New(Config{Workers: workers, Cost: bandwidthHeavy})
+		placed := New(Config{Workers: workers, Cost: bandwidthHeavy, Topology: topo})
+
+		type cs struct {
+			x      *tensor.Dense
+			u      []mat.View
+			mode   int
+			method core.Method
+		}
+		var cases []cs
+		for mode := 0; mode < 3; mode++ {
+			cases = append(cases, cs{x1, u1, mode, core.MethodOneStep})
+		}
+		for mode := 0; mode < 4; mode++ {
+			cases = append(cases, cs{x2, u2, mode, core.MethodTwoStep})
+		}
+		// One request in flight at a time, so both servers grant the same
+		// deterministic budget; the A/B then isolates placement.
+		for i, c := range cases {
+			label := fmt.Sprintf("workers %d case %d (mode %d method %v)", workers, i, c.mode, c.method)
+			req := MTTKRPRequest{X: c.x, Factors: c.u, Mode: c.mode, Method: c.method}
+			want, err := flat.SubmitMTTKRP(req).MTTKRP()
+			if err != nil {
+				t.Fatalf("%s: flat: %v", label, err)
+			}
+			got, err := placed.SubmitMTTKRP(req).MTTKRP()
+			if err != nil {
+				t.Fatalf("%s: placed: %v", label, err)
+			}
+			bitsEqual(t, got, want, label)
+		}
+
+		cpCfg := cpd.Config{Rank: 3, MaxIters: 4, Tol: -1, Seed: 7}
+		want, err := flat.SubmitCP(CPRequest{X: x1, Config: cpCfg}).CP()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := placed.SubmitCP(CPRequest{X: x1, Config: cpCfg}).CP()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(got.Fit) != math.Float64bits(want.Fit) {
+			t.Fatalf("workers %d: CP fit bits differ: %g vs %g", workers, got.Fit, want.Fit)
+		}
+		for m := range want.K.Factors {
+			bitsEqual(t, got.K.Factors[m], want.K.Factors[m], fmt.Sprintf("workers %d CP factor %d", workers, m))
+		}
+
+		if workers > 3 { // domainCap is 3 on this topology: wider grants must have packed
+			if st := placed.Stats(); st.DomainPacked == 0 {
+				t.Fatalf("workers %d: placed server never domain-packed; the A/B did not exercise the clamp", workers)
+			}
+		}
+		if st := flat.Stats(); st.DomainPacked != 0 {
+			t.Fatalf("workers %d: flat server reports %d packed batches", workers, st.DomainPacked)
+		}
+		placed.Close()
+		flat.Close()
+	}
+}
+
+// TestPlacementDomainPacking pins the budget-split policy: under a
+// bandwidth-heavy cost model a grant wider than one domain is packed
+// (physical goroutines capped at the domain width, budget untouched) and
+// counted; flat servers and the EvenSplit baseline never pack.
+func TestPlacementDomainPacking(t *testing.T) {
+	topo, err := parallel.ParseTopology("0-1;2-3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, u := problem(13, 6, 12, 10, 8)
+	run := func(cfg Config) Stats {
+		s := New(cfg)
+		defer s.Close()
+		for i := 0; i < 3; i++ {
+			if _, err := s.SubmitMTTKRP(MTTKRPRequest{X: x, Factors: u, Mode: 1}).MTTKRP(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return s.Stats()
+	}
+
+	if st := run(Config{Workers: 4, Cost: bandwidthHeavy, Topology: topo}); st.DomainPacked == 0 {
+		t.Fatalf("placed cost-aware server: DomainPacked = 0, want ≥ 1 (stats %+v)", st)
+	}
+	if st := run(Config{Workers: 4, Cost: bandwidthHeavy}); st.DomainPacked != 0 {
+		t.Fatalf("flat server: DomainPacked = %d, want 0", st.DomainPacked)
+	}
+	if st := run(Config{Workers: 4, Cost: bandwidthHeavy, Topology: topo, EvenSplit: true}); st.DomainPacked != 0 {
+		t.Fatalf("EvenSplit server: DomainPacked = %d, want 0 (baseline must stay untouched)", st.DomainPacked)
+	}
+}
+
+// BenchmarkPlacementAB is the -numa A/B in the bench artifact: the same
+// serving workload on a flat and on a placed (2-domain) scheduler. On a
+// genuinely multi-socket host the placed leg holds its bytes on one node;
+// on anything else it measures the placement bookkeeping overhead, which
+// must stay in the noise.
+func BenchmarkPlacementAB(b *testing.B) {
+	topo, err := parallel.ParseTopology("0-1;2-3")
+	if err != nil {
+		b.Fatal(err)
+	}
+	x, u := problem(42, 16, 48, 40, 36)
+	for _, leg := range []struct {
+		name string
+		topo *parallel.Topology
+	}{{"numa=off", nil}, {"numa=on", topo}} {
+		b.Run(leg.name, func(b *testing.B) {
+			s := New(Config{Workers: 4, Topology: leg.topo})
+			defer s.Close()
+			dst := mat.NewDense(x.Dim(1), 16)
+			if err := s.SubmitMTTKRP(MTTKRPRequest{X: x, Factors: u, Mode: 1, Dst: dst}).Err(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := s.SubmitMTTKRP(MTTKRPRequest{X: x, Factors: u, Mode: 1, Dst: dst}).Err(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

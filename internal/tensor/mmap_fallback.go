@@ -37,3 +37,5 @@ func unmapFile([]byte) error { return nil }
 func adviseSequential([]byte) {}
 
 func adviseWillNeed([]byte) {}
+
+func adviseDontNeed([]byte) {}

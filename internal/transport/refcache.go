@@ -1,0 +1,169 @@
+package transport
+
+import (
+	"sync"
+
+	"repro/internal/tensor"
+)
+
+// refCacheCap bounds the by-reference mapping cache: how many distinct
+// tensor files the transport keeps mapped between requests. By-ref traffic
+// concentrates on a handful of large shared tensors (that is the point of
+// the endpoint), so a small cap captures the hit rate while bounding the
+// address space pinned by idle mappings; the least-recently-used mapping
+// is unmapped once its in-flight requests release it.
+const refCacheCap = 16
+
+// mapCache caches resolved by-ref tensor mappings across requests, keyed
+// by the sandbox-resolved path. Before the cache, every /v1/mttkrp-ref
+// request re-opened and re-mapped its file (~27 µs of open+header+checksum
+// per request); a hit now costs one stat — the Stale revalidation — and a
+// refcount bump.
+//
+// Entries are refcounted: the cache itself holds one reference while the
+// entry is resident, and every in-flight request holds one more, so an
+// eviction (or stale replacement) never unmaps memory a running kernel is
+// reading — the mapping closes when the last holder releases it.
+type mapCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*mapEntry
+	order   []string // LRU order, most recently used last
+}
+
+// mapEntry is one cached (or cache-bypassing) mapping plus its refcount.
+type mapEntry struct {
+	c    *mapCache
+	path string
+	m    *tensor.Map
+	refs int  // cache residency (1) + in-flight requests
+	dead bool // no longer resident: close on last release
+}
+
+func newMapCache(capacity int) *mapCache {
+	if capacity < 1 {
+		capacity = refCacheCap
+	}
+	return &mapCache{cap: capacity, entries: make(map[string]*mapEntry)}
+}
+
+// Map returns the entry's tensor mapping, valid until Release.
+func (e *mapEntry) Map() *tensor.Map { return e.m }
+
+// Release drops one reference; the last release of a dead (evicted,
+// stale-replaced or never-cached) entry unmaps the tensor.
+func (e *mapEntry) Release() {
+	e.c.mu.Lock()
+	e.refs--
+	closeNow := e.dead && e.refs == 0
+	e.c.mu.Unlock()
+	if closeNow {
+		e.m.Close()
+	}
+}
+
+// acquire returns a referenced entry for path if one is resident and still
+// matches the file on disk. A resident-but-stale mapping (the file was
+// rewritten since it was mapped) is evicted and reported as a miss, so the
+// caller re-opens and re-validates — the cache never serves bytes whose
+// identity the Stale check can no longer vouch for.
+func (c *mapCache) acquire(path string) (*mapEntry, bool) {
+	c.mu.Lock()
+	e, ok := c.entries[path]
+	if !ok {
+		c.mu.Unlock()
+		return nil, false
+	}
+	if e.m.Stale() {
+		c.evictLocked(e)
+		c.mu.Unlock()
+		return nil, false
+	}
+	e.refs++
+	c.touchLocked(path)
+	c.mu.Unlock()
+	return e, true
+}
+
+// insert caches a freshly opened mapping and returns its entry with one
+// request reference held. If another request raced the same path into the
+// cache first, the new mapping stays uncached (dead from birth): it serves
+// this request and closes on release, and the resident entry keeps serving
+// everyone else — simpler than re-validating a swap, and the race costs
+// one extra mapping at worst.
+func (c *mapCache) insert(path string, m *tensor.Map) *mapEntry {
+	e := &mapEntry{c: c, path: path, m: m, refs: 1}
+	c.mu.Lock()
+	if _, taken := c.entries[path]; taken {
+		e.dead = true
+		c.mu.Unlock()
+		return e
+	}
+	e.refs++ // the cache's own reference
+	c.entries[path] = e
+	c.order = append(c.order, path)
+	for len(c.entries) > c.cap {
+		c.evictLocked(c.entries[c.order[0]])
+	}
+	c.mu.Unlock()
+	return e
+}
+
+// evict removes the entry from the cache if it is still resident; the
+// mapping closes once in-flight holders release it.
+func (c *mapCache) evict(e *mapEntry) {
+	c.mu.Lock()
+	c.evictLocked(e)
+	c.mu.Unlock()
+}
+
+// evictLocked drops the cache's reference to a resident entry. Callers
+// hold c.mu.
+func (c *mapCache) evictLocked(e *mapEntry) {
+	if c.entries[e.path] != e {
+		return // already evicted (or a racing replacement owns the key)
+	}
+	delete(c.entries, e.path)
+	for i, p := range c.order {
+		if p == e.path {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+	e.dead = true
+	e.refs--
+	if e.refs == 0 {
+		// Safe under c.mu: nobody else can reach a dead zero-ref entry.
+		e.m.Close()
+	}
+}
+
+// touchLocked moves path to the most-recently-used end. Callers hold c.mu.
+func (c *mapCache) touchLocked(path string) {
+	for i, p := range c.order {
+		if p == path {
+			c.order = append(append(c.order[:i], c.order[i+1:]...), path)
+			return
+		}
+	}
+}
+
+// drain evicts every resident mapping (in-flight holders still finish
+// before their mappings close). Called on server shutdown so idle cached
+// mappings do not outlive the transport.
+func (c *mapCache) drain() {
+	c.mu.Lock()
+	for _, path := range append([]string(nil), c.order...) {
+		if e, ok := c.entries[path]; ok {
+			c.evictLocked(e)
+		}
+	}
+	c.mu.Unlock()
+}
+
+// len reports the number of resident entries (tests).
+func (c *mapCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

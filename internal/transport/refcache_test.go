@@ -1,0 +1,211 @@
+package transport
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mat"
+	"repro/internal/serve"
+	"repro/internal/tensor"
+)
+
+// writeMapped writes a small tensor file and returns its mapping.
+func writeMapped(t *testing.T, dir, name string, seed int64) (string, *tensor.Map) {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := tensor.WriteDenseFile(path, tensor.Random(rand.New(rand.NewSource(seed)), 4, 3, 2)); err != nil {
+		t.Fatal(err)
+	}
+	m, err := tensor.OpenDense(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path, m
+}
+
+// TestRefCacheLRUAndRefcount drives the mapping cache's lifecycle rules
+// directly: hits touch the LRU order, inserts beyond the cap evict the
+// least-recently-used idle entry, an entry evicted (or drained) while a
+// request holds it stays readable until the last Release, and a racing
+// duplicate insert is dead from birth.
+func TestRefCacheLRUAndRefcount(t *testing.T) {
+	dir := t.TempDir()
+	cache := newMapCache(2)
+
+	pa, ma := writeMapped(t, dir, "a.dsnt", 1)
+	pb, mb := writeMapped(t, dir, "b.dsnt", 2)
+	pc, mc := writeMapped(t, dir, "c.dsnt", 3)
+
+	cache.insert(pa, ma).Release()
+	cache.insert(pb, mb).Release()
+	if cache.len() != 2 {
+		t.Fatalf("resident = %d, want 2", cache.len())
+	}
+
+	// A hit refreshes a's recency, so the over-cap insert evicts b.
+	if e, ok := cache.acquire(pa); !ok {
+		t.Fatal("acquire(a): miss, want hit")
+	} else {
+		e.Release()
+	}
+	cache.insert(pc, mc).Release()
+	if cache.len() != 2 {
+		t.Fatalf("resident = %d after over-cap insert, want 2", cache.len())
+	}
+	if _, ok := cache.acquire(pb); ok {
+		t.Fatal("acquire(b): hit, want evicted (b was least recently used)")
+	}
+
+	// Evict-while-in-use: a request holding an entry keeps the mapping
+	// alive through a drain; the bytes stay readable until its Release.
+	held, ok := cache.acquire(pa)
+	if !ok {
+		t.Fatal("acquire(a): miss, want hit")
+	}
+	cache.drain()
+	if cache.len() != 0 {
+		t.Fatalf("resident = %d after drain, want 0", cache.len())
+	}
+	want := tensor.Random(rand.New(rand.NewSource(1)), 4, 3, 2)
+	if got := held.Map().Dense.At(3, 2, 1); got != want.At(3, 2, 1) {
+		t.Fatalf("held mapping read %g after drain, want %g", got, want.At(3, 2, 1))
+	}
+	held.Release()
+
+	// Racing duplicate insert: the loser serves its one request and dies;
+	// the resident winner keeps serving.
+	_, m1 := writeMapped(t, dir, "d.dsnt", 4)
+	p1 := filepath.Join(dir, "d.dsnt")
+	m2, err := tensor.OpenDense(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1 := cache.insert(p1, m1)
+	e2 := cache.insert(p1, m2)
+	if !e2.dead {
+		t.Fatal("duplicate insert must be dead from birth")
+	}
+	e2.Release()
+	e1.Release()
+	if e, ok := cache.acquire(p1); !ok {
+		t.Fatal("acquire after duplicate insert: miss, want the winner resident")
+	} else {
+		e.Release()
+	}
+
+	// Stale revalidation: rewriting the file behind a resident mapping
+	// turns the next acquire into an evicting miss.
+	if err := os.Chtimes(p1, time.Now(), time.Now().Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cache.acquire(p1); ok {
+		t.Fatal("acquire of a stale mapping: hit, want miss")
+	}
+	if cache.len() != 0 {
+		t.Fatalf("resident = %d after stale eviction, want 0", cache.len())
+	}
+}
+
+// TestHTTPByRefCacheHits pins the by-ref serving path's cache behavior
+// end to end: repeat requests for one file are served from the resident
+// mapping (counted by RefCacheHits), and a rewritten file is revalidated
+// — the stale mapping is dropped and the response carries the new bytes.
+func TestHTTPByRefCacheHits(t *testing.T) {
+	root := t.TempDir()
+	x, ref := writeTensorFile(t, root, "x.dsnt", 51, 10, 9, 8)
+	s, c := startServer(t, Config{Serve: serve.Config{Workers: 2}, TensorRoot: root})
+
+	rng := rand.New(rand.NewSource(52))
+	u := make([]mat.View, x.Order())
+	for k := range u {
+		u[k] = mat.RandomDense(x.Dim(k), 4, rng)
+	}
+	want := core.Compute(core.MethodAuto, x, u, 1, core.Options{})
+	for i := 0; i < 3; i++ {
+		got, _, err := c.MTTKRPByRef(mat.View{}, ref, x.Dims(), u, 1, core.MethodAuto)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if !mat.ApproxEqual(got, want, 1e-13) {
+			t.Fatalf("request %d diverges from the local kernel", i)
+		}
+	}
+	if st := s.Stats(); st.ByRefRequests != 3 || st.RefCacheHits != 2 {
+		t.Fatalf("stats %+v: want 3 by-ref requests, 2 cache hits (first maps, rest hit)", st)
+	}
+
+	// Rewrite the file in place (same dims, new values) and re-stat: the
+	// server's resident mapping is now stale, so the request re-opens and
+	// must serve the new tensor's bytes, not the cached ones.
+	x2, ref2 := writeTensorFile(t, root, "x.dsnt", 53, 10, 9, 8)
+	if err := os.Chtimes(filepath.Join(root, "x.dsnt"), time.Now(), time.Now().Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	info, err := tensor.StatDense(filepath.Join(root, "x.dsnt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref2 = RefFor(info, "x.dsnt")
+	want2 := core.Compute(core.MethodAuto, x2, u, 1, core.Options{})
+	got, _, err := c.MTTKRPByRef(mat.View{}, ref2, x.Dims(), u, 1, core.MethodAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mat.ApproxEqual(got, want2, 1e-13) {
+		t.Fatal("post-rewrite request served stale tensor bytes")
+	}
+	st := s.Stats()
+	if st.RefCacheHits != 2 {
+		t.Fatalf("RefCacheHits = %d after stale revalidation, want 2 (a stale acquire is a miss)", st.RefCacheHits)
+	}
+
+	// The replacement mapping is resident: the next request hits again.
+	if _, _, err := c.MTTKRPByRef(mat.View{}, ref2, x.Dims(), u, 1, core.MethodAuto); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.RefCacheHits != 3 {
+		t.Fatalf("RefCacheHits = %d, want 3", st.RefCacheHits)
+	}
+}
+
+// BenchmarkRefCacheAcquire prices the by-ref cache's win: a cache hit
+// (Stale stat + refcount) versus the full open-map-close cycle every
+// request paid before the cache.
+func BenchmarkRefCacheAcquire(b *testing.B) {
+	dir := b.TempDir()
+	path := filepath.Join(dir, "x.dsnt")
+	if err := tensor.WriteDenseFile(path, tensor.Random(rand.New(rand.NewSource(9)), 24, 20, 16)); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("hit", func(b *testing.B) {
+		cache := newMapCache(2)
+		m, err := tensor.OpenDense(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cache.insert(path, m).Release()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e, ok := cache.acquire(path)
+			if !ok {
+				b.Fatal("cache miss")
+			}
+			e.Release()
+		}
+		b.StopTimer()
+		cache.drain()
+	})
+	b.Run("miss-remap", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m, err := tensor.OpenDense(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m.Close()
+		}
+	})
+}

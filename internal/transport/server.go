@@ -71,8 +71,11 @@ type Stats struct {
 	// ByRefRequests counts by-reference MTTKRP requests; RefRejected the
 	// subset refused because the referenced file was unreadable or outside
 	// the tensor root (404) or its identity no longer matched (409).
+	// RefCacheHits counts by-ref requests served from the resident mapping
+	// cache instead of re-opening and re-mapping the file.
 	ByRefRequests int64 `json:"byref_requests"`
 	RefRejected   int64 `json:"ref_rejected"`
+	RefCacheHits  int64 `json:"refcache_hits"`
 	// BytesIn / BytesOut count payload (not HTTP framing) bytes.
 	BytesIn  int64 `json:"bytes_in"`
 	BytesOut int64 `json:"bytes_out"`
@@ -93,6 +96,7 @@ type Server struct {
 	sched  *serve.Server
 	quotas *quotaTable
 	httpd  *http.Server
+	refs   *mapCache // resident by-ref tensor mappings (nil: no tensor root)
 
 	bufs     floatPool // request payload slabs
 	idxs     int32Pool // sparse coordinate slabs
@@ -103,6 +107,7 @@ type Server struct {
 	requests, quotaRejected, drainRejected atomic.Int64
 	badRequests, failed, shedRejected      atomic.Int64
 	byRefRequests, refRejected             atomic.Int64
+	refCacheHits                           atomic.Int64
 	bytesIn, bytesOut                      atomic.Int64
 	decodeNs, computeNs                    atomic.Int64
 }
@@ -123,6 +128,9 @@ func NewServer(cfg Config) *Server {
 		cfg:    cfg,
 		sched:  serve.New(cfg.Serve),
 		quotas: newQuotaTable(cfg.Quota),
+	}
+	if cfg.TensorRoot != "" {
+		s.refs = newMapCache(refCacheCap)
 	}
 	s.httpd = &http.Server{
 		Handler:           s.Handler(),
@@ -145,6 +153,7 @@ func (s *Server) Stats() Stats {
 		ShedRejected:  s.shedRejected.Load(),
 		ByRefRequests: s.byRefRequests.Load(),
 		RefRejected:   s.refRejected.Load(),
+		RefCacheHits:  s.refCacheHits.Load(),
 		BytesIn:       s.bytesIn.Load(),
 		BytesOut:      s.bytesOut.Load(),
 		DecodeNs:      s.decodeNs.Load(),
@@ -209,6 +218,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	go func() {
 		s.sched.Drain()
 		s.sched.Close()
+		if s.refs != nil {
+			s.refs.drain() // handlers are done: unmap cached tensors
+		}
 		close(done)
 	}()
 	select {
@@ -227,6 +239,11 @@ func (s *Server) Close() error {
 	s.draining.Store(true)
 	err := s.httpd.Close()
 	s.sched.Close()
+	if s.refs != nil {
+		// In-flight handlers still hold references; their mappings close
+		// on release, the idle ones right here.
+		s.refs.drain()
+	}
 	return err
 }
 
@@ -473,14 +490,14 @@ func (s *Server) handleCompute(w http.ResponseWriter, r *http.Request, wantOp Op
 		// replaces the wire tensor. Open + identity check count as decode
 		// time — they are this path's whole ingestion cost.
 		s.byRefRequests.Add(1)
-		m, status, rerr := s.resolveRef(&h.Ref, h.Dims)
+		ent, status, rerr := s.resolveRef(&h.Ref, h.Dims)
 		if rerr != nil {
 			s.refRejected.Add(1)
 			http.Error(w, rerr.Error(), status)
 			return
 		}
-		defer m.Close()
-		x = m.Dense
+		defer ent.Release()
+		x = ent.Map().Dense
 	}
 	decode := time.Since(t0)
 	s.bytesIn.Add(payload)
@@ -539,15 +556,24 @@ func (s *Server) handleCompute(w http.ResponseWriter, r *http.Request, wantOp Op
 	}
 }
 
-// resolveRef maps the tensor file a by-reference request names, enforcing
-// the tensor-root sandbox and the identity the client declared. The
-// returned status is the HTTP code to fail with when err is non-nil: 404
-// for anything unreadable or outside the root (indistinguishable by
-// design — probing the filesystem through error codes stays blind), 400
-// for structurally illegal paths, 409 when the file exists but is no
-// longer the version the client observed.
-func (s *Server) resolveRef(ref *TensorRef, dims []int) (*tensor.Map, int, error) {
-	if s.cfg.TensorRoot == "" {
+// resolveRef resolves the tensor file a by-reference request names to a
+// referenced mapping-cache entry, enforcing the tensor-root sandbox and
+// the identity the client declared. The mapping comes from the resident
+// cache when a previous request already mapped this file (a hit costs one
+// revalidating stat instead of an open+map+checksum); either way the
+// request holds a reference until Release. The returned status is the
+// HTTP code to fail with when err is non-nil: 404 for anything unreadable
+// or outside the root (indistinguishable by design — probing the
+// filesystem through error codes stays blind), 400 for structurally
+// illegal paths, 409 when the file exists but is no longer the version
+// the client observed.
+//
+// The per-request identity checks run against the cached mapping too: a
+// client holding a stale ref gets its 409 even on a cache hit, and a
+// rewritten file fails the acquire-time Stale revalidation, evicting the
+// dead mapping so the reopen sees the new bytes.
+func (s *Server) resolveRef(ref *TensorRef, dims []int) (*mapEntry, int, error) {
+	if s.cfg.TensorRoot == "" || s.refs == nil {
 		return nil, http.StatusNotFound, errors.New("transport: by-reference requests disabled (no tensor root configured)")
 	}
 	p := filepath.FromSlash(ref.Path)
@@ -568,26 +594,36 @@ func (s *Server) resolveRef(ref *TensorRef, dims []int) (*tensor.Map, int, error
 	if rel, err := filepath.Rel(root, resolved); err != nil || rel == ".." || strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
 		return nil, http.StatusBadRequest, fmt.Errorf("transport: ref path %q resolves outside the tensor root", ref.Path)
 	}
-	if fi, err := os.Stat(resolved); err != nil || !fi.Mode().IsRegular() {
-		return nil, http.StatusNotFound, fmt.Errorf("transport: tensor file %q unreadable", ref.Path)
+	ent, hit := s.refs.acquire(resolved)
+	if hit {
+		s.refCacheHits.Add(1)
+	} else {
+		if fi, err := os.Stat(resolved); err != nil || !fi.Mode().IsRegular() {
+			return nil, http.StatusNotFound, fmt.Errorf("transport: tensor file %q unreadable", ref.Path)
+		}
+		m, err := tensor.OpenDense(resolved)
+		if err != nil {
+			return nil, http.StatusNotFound, fmt.Errorf("transport: tensor file %q unreadable", ref.Path)
+		}
+		ent = s.refs.insert(resolved, m)
 	}
-	m, err := tensor.OpenDense(resolved)
-	if err != nil {
-		return nil, http.StatusNotFound, fmt.Errorf("transport: tensor file %q unreadable", ref.Path)
-	}
+	m := ent.Map()
 	if m.ModTime().UnixNano() != ref.MTime || m.FileSize() != ref.Size || m.Checksum() != ref.Checksum {
-		m.Close()
+		ent.Release()
 		return nil, http.StatusConflict, fmt.Errorf("transport: tensor file %q changed since the client observed it", ref.Path)
 	}
 	if !slices.Equal(m.Dims(), dims) {
-		m.Close()
+		ent.Release()
 		return nil, http.StatusConflict, fmt.Errorf("transport: tensor file %q is shaped %v, request declares %v", ref.Path, m.Dims(), dims)
 	}
 	if m.Stale() {
-		m.Close()
+		// The file changed between open and map: drop the dead mapping
+		// from the cache so the client's retry re-opens the new version.
+		s.refs.evict(ent)
+		ent.Release()
 		return nil, http.StatusConflict, fmt.Errorf("transport: tensor file %q changed after map", ref.Path)
 	}
-	return m, 0, nil
+	return ent, 0, nil
 }
 
 // failComputeError maps a scheduler/kernel error onto an HTTP status: a
